@@ -1,0 +1,353 @@
+package gicnet
+
+// Benchmarks: one per paper table/figure plus the design-choice ablations
+// called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates its artifact end to end (on the cached
+// default world), so ns/op is the cost of reproducing that figure.
+
+import (
+	"context"
+	"testing"
+
+	"gicnet/internal/dataset"
+	"gicnet/internal/experiments"
+	"gicnet/internal/failure"
+	"gicnet/internal/gic"
+	"gicnet/internal/grid"
+	"gicnet/internal/partition"
+	"gicnet/internal/recovery"
+	"gicnet/internal/resilience"
+	"gicnet/internal/routing"
+	"gicnet/internal/satellite"
+	"gicnet/internal/scenario"
+	"gicnet/internal/shutdown"
+	"gicnet/internal/sim"
+	"gicnet/internal/solar"
+	"gicnet/internal/xrand"
+)
+
+func benchWorld(b *testing.B) *dataset.World {
+	b.Helper()
+	w, err := dataset.Default()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Trials: 10, Seed: dataset.DefaultSeed}
+}
+
+func BenchmarkFig3LatitudePDF(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4aCableEndpointDistribution(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4a(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4bInfraDistribution(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4b(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5LengthCDF(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6CableFailures regenerates the full Figure 6/7 sweep (the
+// paper computes both from the same runs; so do we — this is the joint
+// cost).
+func BenchmarkFig6CableFailures(b *testing.B) {
+	w := benchWorld(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig67(ctx, w, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7NodeFailures isolates the per-run node-unreachability cost
+// on the submarine network (Figure 7's marginal work over Figure 6).
+func BenchmarkFig7NodeFailures(b *testing.B) {
+	w := benchWorld(b)
+	ctx := context.Background()
+	cfg := sim.Config{Model: failure.Uniform{P: 0.01}, SpacingKm: 150, Trials: 10, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(ctx, w.Submarine, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8NonUniform(b *testing.B) {
+	w := benchWorld(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(ctx, w, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9aASReach(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9bASSpread(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Routers.SpreadSample()
+	}
+}
+
+func BenchmarkCountryConnectivity(b *testing.B) {
+	w := benchWorld(b)
+	ctx := context.Background()
+	cases := experiments.DefaultCountryCases()
+	cfg := experiments.Config{Trials: 2, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Countries(ctx, w, cfg, cases); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSystemsResilience(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Systems(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- extension / ablation benchmarks ---
+
+func BenchmarkShutdownPlanner(b *testing.B) {
+	w := benchWorld(b)
+	opts := shutdown.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := shutdown.PlanShutdown(w.Submarine, gic.Quebec, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopologyAugmentation(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Recommend(w, failure.S1(), 150, 10, 1, 3, "nz", "us"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridCoupling(b *testing.B) {
+	w := benchWorld(b)
+	probs := failure.S1().Probs
+	gm := grid.DefaultModel(probs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := grid.Compare(w.Submarine, failure.S2(), gm, 150, 10, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSatelliteDecay(b *testing.B) {
+	rng := xrand.New(1)
+	c := satellite.Starlink()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := satellite.SimulateDecay(c, gic.Carrington, 14, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrafficRouting(b *testing.B) {
+	w := benchWorld(b)
+	demands := routing.DefaultDemands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.Route(w.Submarine, demands, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoveryPlanning(b *testing.B) {
+	w := benchWorld(b)
+	rng := xrand.New(7)
+	dead, err := failure.SampleCableDeaths(w.Submarine, failure.S2(), 150, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults, err := recovery.FaultsFrom(w.Submarine, dead, 150, 0.1, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet := recovery.DefaultFleet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := recovery.PlanRecovery(w.Submarine, faults, fleet, recovery.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResilienceSuite(b *testing.B) {
+	w := benchWorld(b)
+	p := resilience.GooglePlacement()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := resilience.Evaluate(w, p, failure.S1(), 150, 10, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullScenario(b *testing.B) {
+	w := benchWorld(b)
+	cfg := scenario.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Run(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolarRiskModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := solar.ModulatedDecadeRisk(0.09, 2020); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: Monte Carlo estimate vs the analytic expected cable fraction —
+// quantifies what the sampling layer costs over the closed form.
+func BenchmarkAblationAnalyticVsMonteCarlo(b *testing.B) {
+	w := benchWorld(b)
+	b.Run("analytic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := failure.ExpectedCableFrac(w.Submarine, failure.S1(), 150); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("montecarlo-10", func(b *testing.B) {
+		ctx := context.Background()
+		cfg := sim.Config{Model: failure.S1(), SpacingKm: 150, Trials: 10, Seed: 1}
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(ctx, w.Submarine, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation: endpoint vs path latitude banding (the paper's simplification
+// vs the physically strict rule).
+func BenchmarkAblationBanding(b *testing.B) {
+	w := benchWorld(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtBanding(ctx, w, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: serial vs parallel trial execution in the simulation engine.
+func BenchmarkAblationSimWorkers(b *testing.B) {
+	w := benchWorld(b)
+	ctx := context.Background()
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "serial", 4: "workers-4"}[workers], func(b *testing.B) {
+			cfg := sim.Config{Model: failure.S1(), SpacingKm: 150, Trials: 64, Seed: 1, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(ctx, w.Submarine, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: world generation cost by dataset.
+func BenchmarkWorldGeneration(b *testing.B) {
+	b.Run("submarine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dataset.GenerateSubmarine(dataset.DefaultSubmarineConfig(), xrand.New(uint64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("intertubes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dataset.GenerateIntertubes(dataset.DefaultIntertubesConfig(), xrand.New(uint64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("itu", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dataset.GenerateITU(dataset.DefaultITUConfig(), xrand.New(uint64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("routers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dataset.GenerateRouters(dataset.DefaultRouterConfig(), xrand.New(uint64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

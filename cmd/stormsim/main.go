@@ -1,0 +1,111 @@
+// Command stormsim runs Monte Carlo failure simulations over the synthetic
+// world with a configurable failure model.
+//
+// Usage:
+//
+//	stormsim -net submarine -model s1 -spacing 150 -trials 100
+//	stormsim -net all -model uniform -p 0.01
+//	stormsim -net submarine -model storm:carrington-1859
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"gicnet/internal/dataset"
+	"gicnet/internal/failure"
+	"gicnet/internal/gic"
+	"gicnet/internal/report"
+	"gicnet/internal/sim"
+	"gicnet/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stormsim: ")
+
+	netName := flag.String("net", "submarine", "network (submarine|intertubes|itu|all)")
+	modelName := flag.String("model", "s1", "failure model (s1|s2|uniform|storm:<name>)")
+	p := flag.Float64("p", 0.01, "repeater failure probability for -model uniform")
+	spacing := flag.Float64("spacing", 150, "inter-repeater distance, km")
+	trials := flag.Int("trials", 10, "Monte Carlo trials")
+	seed := flag.Uint64("seed", dataset.DefaultSeed, "simulation seed")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	world, err := dataset.Default()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := resolveModel(*modelName, *p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var nets []*topology.Network
+	switch *netName {
+	case "all":
+		nets = world.Networks()
+	case "submarine":
+		nets = []*topology.Network{world.Submarine}
+	case "intertubes":
+		nets = []*topology.Network{world.Intertubes}
+	case "itu":
+		nets = []*topology.Network{world.ITU}
+	default:
+		log.Fatalf("unknown network %q", *netName)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("stormsim: model=%s spacing=%.0fkm trials=%d seed=%d", model.Name(), *spacing, *trials, *seed),
+		"network", "cables-failed%", "sd", "nodes-unreachable%", "sd")
+	for _, net := range nets {
+		res, err := sim.Run(context.Background(), net, sim.Config{
+			Model:     model,
+			SpacingKm: *spacing,
+			Trials:    *trials,
+			Seed:      *seed,
+			Workers:   *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(net.Name,
+			fmt.Sprintf("%.2f", 100*res.CableFrac.Mean()),
+			fmt.Sprintf("%.2f", 100*res.CableFrac.StdDev()),
+			fmt.Sprintf("%.2f", 100*res.NodeFrac.Mean()),
+			fmt.Sprintf("%.2f", 100*res.NodeFrac.StdDev()))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func resolveModel(name string, p float64) (failure.Model, error) {
+	switch {
+	case name == "s1":
+		return failure.S1(), nil
+	case name == "s2":
+		return failure.S2(), nil
+	case name == "uniform":
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("probability %v out of [0,1]", p)
+		}
+		return failure.Uniform{P: p}, nil
+	case strings.HasPrefix(name, "storm:"):
+		want := strings.TrimPrefix(name, "storm:")
+		for _, s := range gic.Scenarios() {
+			if s.Name == want {
+				return failure.FromStorm(s, gic.DefaultSubmarineConductor(), gic.DefaultRepeaterTolerance())
+			}
+		}
+		return nil, fmt.Errorf("unknown storm %q (try carrington-1859, new-york-railroad-1921, quebec-1989, moderate)", want)
+	default:
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+}

@@ -1,0 +1,141 @@
+// Command topogen generates the synthetic world and exports its datasets.
+//
+// Usage:
+//
+//	topogen -seed 1859 -dir out/          # write all datasets
+//	topogen -net submarine -json -        # one network as JSON to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"gicnet/internal/dataset"
+	"gicnet/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topogen: ")
+
+	seed := flag.Uint64("seed", dataset.DefaultSeed, "world seed")
+	dir := flag.String("dir", "", "directory to write every dataset into")
+	netName := flag.String("net", "", "single network to export (submarine|intertubes|itu)")
+	jsonOut := flag.String("json", "", "write the -net network as JSON to this file ('-' = stdout)")
+	csvOut := flag.String("csv", "", "write the -net network endpoints as CSV to this file ('-' = stdout)")
+	flag.Parse()
+
+	world, err := dataset.GenerateWorld(dataset.DefaultWorldConfig(), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pick := func(name string) *topology.Network {
+		switch name {
+		case "submarine":
+			return world.Submarine
+		case "intertubes":
+			return world.Intertubes
+		case "itu":
+			return world.ITU
+		default:
+			log.Fatalf("unknown network %q (submarine|intertubes|itu)", name)
+			return nil
+		}
+	}
+
+	openOut := func(path string) (io.WriteCloser, error) {
+		if path == "-" {
+			return nopCloser{os.Stdout}, nil
+		}
+		return os.Create(path)
+	}
+
+	if *netName != "" {
+		net := pick(*netName)
+		if *jsonOut != "" {
+			w, err := openOut(*jsonOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := dataset.WriteNetworkJSON(w, net); err != nil {
+				log.Fatal(err)
+			}
+			closeOrDie(w)
+		}
+		if *csvOut != "" {
+			w, err := openOut(*csvOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := dataset.WriteEndpointsCSV(w, net); err != nil {
+				log.Fatal(err)
+			}
+			closeOrDie(w)
+		}
+		if *jsonOut == "" && *csvOut == "" {
+			log.Fatal("-net requires -json and/or -csv")
+		}
+		return
+	}
+
+	if *dir == "" {
+		log.Fatal("nothing to do: pass -dir or -net")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, net := range world.Networks() {
+		path := filepath.Join(*dir, net.Name+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dataset.WriteNetworkJSON(f, net); err != nil {
+			log.Fatal(err)
+		}
+		closeOrDie(f)
+		log.Printf("wrote %s (%d nodes, %d cables)", path, len(net.Nodes), len(net.Cables))
+	}
+	sitesets := map[string][]dataset.Site{
+		"ixps.csv":          world.IXPs,
+		"google-dcs.csv":    world.GoogleDCs,
+		"facebook-dcs.csv":  world.FacebookDCs,
+		"dns-instances.csv": flattenRoots(world),
+	}
+	for name, sites := range sitesets {
+		path := filepath.Join(*dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dataset.WriteSitesCSV(f, sites); err != nil {
+			log.Fatal(err)
+		}
+		closeOrDie(f)
+		log.Printf("wrote %s (%d sites)", path, len(sites))
+	}
+	fmt.Println("done")
+}
+
+func flattenRoots(w *dataset.World) []dataset.Site {
+	var out []dataset.Site
+	for _, l := range w.DNSRoots {
+		out = append(out, l.Instances...)
+	}
+	return out
+}
+
+func closeOrDie(c io.Closer) {
+	if err := c.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }

@@ -1,0 +1,130 @@
+// Command whatif answers country-scale questions about a solar superstorm:
+// which cables a country keeps, whether it can still reach a partner, and
+// which new low-latitude cables would help most.
+//
+// Usage:
+//
+//	whatif -target us -partners region:europe,br -model s1
+//	whatif -bridges 5 -probe-a us -probe-b region:europe
+//	whatif -hubs 20
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"gicnet/internal/core"
+	"gicnet/internal/dataset"
+	"gicnet/internal/failure"
+	"gicnet/internal/partition"
+	"gicnet/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whatif: ")
+
+	target := flag.String("target", "", "country/region/city to analyse (e.g. us, region:europe, city:shanghai)")
+	partners := flag.String("partners", "", "comma-separated partner targets")
+	modelName := flag.String("model", "s1", "failure model (s1|s2)")
+	spacing := flag.Float64("spacing", 150, "inter-repeater distance, km")
+	trials := flag.Int("trials", 100, "Monte Carlo trials")
+	seed := flag.Uint64("seed", dataset.DefaultSeed, "seed")
+	bridges := flag.Int("bridges", 0, "recommend this many low-latitude bridge cables")
+	probeA := flag.String("probe-a", "us", "bridge probe endpoint A")
+	probeB := flag.String("probe-b", "region:europe", "bridge probe endpoint B")
+	hubs := flag.Int("hubs", 0, "list this many single-point-of-failure landing stations")
+	spofs := flag.Int("spof-cables", 0, "list this many single-point-of-failure cables (longest first)")
+	flag.Parse()
+
+	world, err := dataset.Default()
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := core.NewAnalyzer(world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var model failure.Model
+	switch *modelName {
+	case "s1":
+		model = failure.S1()
+	case "s2":
+		model = failure.S2()
+	default:
+		log.Fatalf("unknown model %q", *modelName)
+	}
+	ctx := context.Background()
+	did := false
+
+	if *target != "" {
+		did = true
+		var ps []core.Target
+		for _, p := range strings.Split(*partners, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				ps = append(ps, core.Target(p))
+			}
+		}
+		rep, err := an.CountryAnalysis(ctx, model, *spacing, *trials, *seed, core.Target(*target), ps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := report.NewTable(
+			fmt.Sprintf("%s under %s (%.0f km spacing)", *target, model.Name(), *spacing),
+			"cable", "length", "band", "p(dies)")
+		for _, c := range rep.Cables {
+			t.AddRow(c.Name, report.Km(c.LengthKm), c.Band.String(), fmt.Sprintf("%.3f", c.DeathProb))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nexpected surviving cables: %.1f of %d\n", rep.ExpectedSurvivors, len(rep.Cables))
+		fmt.Printf("total isolation probability: %.4f\n", rep.IsolationProb)
+		for _, p := range rep.Partners {
+			fmt.Printf("p(still connected to %s): %.2f\n", p.To, p.SurvivalProb)
+		}
+	}
+
+	if *bridges > 0 {
+		did = true
+		cands, err := partition.Recommend(world, model, *spacing, *trials, *seed, *bridges, *probeA, *probeB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := report.NewTable(
+			fmt.Sprintf("recommended low-latitude bridges for %s <-> %s", *probeA, *probeB),
+			"from", "to", "length", "p(survives)", "benefit")
+		for _, c := range cands {
+			t.AddRow(c.From, c.To, report.Km(c.LengthKm),
+				fmt.Sprintf("%.2f", c.SurvivalProb), fmt.Sprintf("%+.3f", c.Benefit))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *hubs > 0 {
+		did = true
+		fmt.Println("single points of failure (articulation landing stations):")
+		for _, h := range an.HubCities(*hubs) {
+			fmt.Println("  ", h)
+		}
+	}
+
+	if *spofs > 0 {
+		did = true
+		fmt.Println("single points of failure (critical cables, longest first):")
+		for _, c := range an.CriticalCables(*spofs) {
+			fmt.Println("  ", c)
+		}
+	}
+
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

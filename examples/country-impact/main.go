@@ -1,0 +1,73 @@
+// Country impact: reproduce the paper's §4.3.4 walkthrough for a handful
+// of countries — which cables they keep under a severe storm and whether
+// the key international relationships survive.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"gicnet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	world, err := gicnet.DefaultWorld()
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := gicnet.NewAnalyzer(world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	cases := []struct {
+		target   gicnet.Target
+		partners []gicnet.Target
+		note     string
+	}{
+		{"us", []gicnet.Target{"region:europe", "br"}, "the paper's most exposed region"},
+		{"sg", []gicnet.Target{"in", "au", "id"}, "the resilient Asian hub"},
+		{"br", []gicnet.Target{"region:europe", "us"}, "keeps Europe via the short EllaLink"},
+		{"city:shanghai", []gicnet.Target{"sg"}, "only very long cables land here"},
+	}
+
+	for _, c := range cases {
+		rep, err := an.CountryAnalysis(ctx, gicnet.S1(), 150, 200, gicnet.DefaultSeed, c.target, c.partners)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s under S1 — %s ===\n", c.target, c.note)
+		fmt.Printf("cables touching: %d, expected survivors: %.1f\n",
+			len(rep.Cables), rep.ExpectedSurvivors)
+		surviving := rep.SurvivingCables()
+		show := surviving
+		if len(show) > 5 {
+			show = show[:5]
+		}
+		for _, cf := range show {
+			fmt.Printf("  likely survivor: %-28s %6.0f km  p(dies)=%.2f\n",
+				cf.Name, cf.LengthKm, cf.DeathProb)
+		}
+		for _, p := range rep.Partners {
+			fmt.Printf("  p(connected to %-14s) = %.2f\n", p.To, p.SurvivalProb)
+		}
+		fmt.Println()
+	}
+
+	// Direct cables only (the paper's metric): Brazil-Europe vs US-Europe.
+	brEU, err := an.DirectSurvival(gicnet.S1(), 150, "br", "region:europe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	usEU, err := an.DirectSurvival(gicnet.S1(), 150, "us", "region:europe")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("direct-cable loss probability under S1: Brazil-Europe %.2f vs US-Europe %.2f\n",
+		brEU.AllDeadProb, usEU.AllDeadProb)
+	fmt.Println("(the Brazil-Portugal cable is 6,200 km; Florida-Portugal is 9,833 km — length is destiny)")
+}

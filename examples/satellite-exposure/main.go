@@ -1,0 +1,44 @@
+// Satellite exposure: the paper's §3.3 warns that LEO constellations face
+// both electronics damage and storm-drag orbital decay. Assess a
+// Starlink-class shell against the reference storm scenarios.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gicnet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	shell := gicnet.Starlink()
+	fmt.Printf("constellation: %s — %d satellites at %.0f km, %.0f deg inclination\n\n",
+		shell.Name, shell.Size(), shell.AltitudeKm, shell.InclinationDeg)
+
+	for _, storm := range []gicnet.Storm{gicnet.ModerateStorm, gicnet.Quebec, gicnet.NewYorkRailroad, gicnet.Carrington} {
+		exp, err := gicnet.AssessConstellation(shell, storm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", storm.Name)
+		fmt.Printf("  electronics damage: p=%.3f per sat (%.0f expected losses)\n",
+			exp.ElectronicsDamageProb, exp.DamagedExpected)
+		fmt.Printf("  drag multiplier: %.1fx, decay %.2f km/day\n",
+			exp.DragMultiplier, exp.DecayKmPerDay)
+		fmt.Printf("  reentry risk: %v\n\n", exp.ReentryRisk)
+	}
+
+	// A freshly launched batch still at the 350 km insertion altitude is
+	// far more exposed — the February 2022 Starlink loss scenario.
+	fresh := shell
+	fresh.Name = "freshly-launched-batch"
+	fresh.AltitudeKm = 350
+	exp, err := gicnet.AssessConstellation(fresh, gicnet.Carrington)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fresh batch at 350 km under Carrington: decay %.1f km/day, reentry risk: %v\n",
+		exp.DecayKmPerDay, exp.ReentryRisk)
+}

@@ -1,0 +1,46 @@
+// Shutdown planning: a CME has been observed leaving the sun. Use the
+// transit lead time (§5.2) to schedule cable power-downs that maximise
+// expected surviving capacity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gicnet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	world, err := gicnet.DefaultWorld()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, storm := range []gicnet.Storm{gicnet.Quebec, gicnet.NewYorkRailroad, gicnet.Carrington} {
+		plan, err := gicnet.PlanShutdown(world.Submarine, storm, gicnet.DefaultShutdownOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== forecast: %s (lead time %.0f h, budget %d shutdowns) ===\n",
+			storm.Name, plan.LeadTimeHours, plan.Budget)
+		fmt.Printf("expected surviving cables, no action: %.1f / %d\n",
+			plan.ExpectedSurvivorsUnplanned, len(world.Submarine.Cables))
+		fmt.Printf("expected surviving cables, with plan: %.1f  (+%.1f saved)\n",
+			plan.ExpectedSurvivorsPlanned, plan.Improvement())
+		fmt.Printf("cables powered down: %d\n", plan.PowerOffCount())
+		shown := 0
+		for _, a := range plan.Actions {
+			if !a.PowerOff || shown >= 5 {
+				continue
+			}
+			fmt.Printf("  power off %-28s p(dies) %.2f -> %.2f\n", a.Cable, a.DeathOn, a.DeathOff)
+			shown++
+		}
+		fmt.Println()
+	}
+	fmt.Println("note how the plan buys real capacity for the moderate storm but")
+	fmt.Println("almost nothing at Carrington scale — GIC flows through powered-off")
+	fmt.Println("cables, so powering down only removes the small operating current.")
+}

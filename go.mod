@@ -1,0 +1,3 @@
+module gicnet
+
+go 1.22

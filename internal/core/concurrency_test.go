@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"gicnet/internal/failure"
+)
+
+// TestConcurrentAnalyses exercises read-only concurrent use of the shared
+// default world: multiple goroutines running Monte Carlo analyses at once.
+// Run with -race to verify there is no hidden mutation (the lazy graph
+// cache is primed by dataset.Default before publication).
+func TestConcurrentAnalyses(t *testing.T) {
+	a := analyzer(t)
+	ctx := context.Background()
+	pairs := []struct{ from, to Target }{
+		{"us", "region:europe"},
+		{"sg", "in"},
+		{"br", "region:europe"},
+		{"au", "nz"},
+		{"gb", "us"},
+		{"za", "ke"},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(pairs)*2)
+	for i, p := range pairs {
+		wg.Add(2)
+		go func(seed uint64, from, to Target) {
+			defer wg.Done()
+			if _, err := a.PairConnectivity(ctx, failure.S1(), 150, 20, seed, from, to); err != nil {
+				errs <- err
+			}
+		}(uint64(i), p.from, p.to)
+		go func(from Target) {
+			defer wg.Done()
+			if _, err := a.DirectSurvival(failure.S2(), 150, from, "region:europe"); err != nil {
+				errs <- err
+			}
+		}(p.from)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package dataset
+
+import "gicnet/internal/geo"
+
+// Hyperscaler data center locations, embedded as public knowledge
+// (google.com/about/datacenters and Facebook's published site list, both
+// cited by the paper, §4.4.2). Coordinates are approximate site locations.
+
+// GoogleDataCenters returns Google's self-built data center campuses as of
+// the paper's snapshot: 2/3 in the US, plus Chile, Europe, Taiwan and
+// Singapore — a spread across latitudes and hemispheres.
+func GoogleDataCenters() []Site {
+	return []Site{
+		{"berkeley-county-sc", geo.Coord{Lat: 33.06, Lon: -80.04}},
+		{"council-bluffs-ia", geo.Coord{Lat: 41.26, Lon: -95.86}},
+		{"douglas-county-ga", geo.Coord{Lat: 33.75, Lon: -84.58}},
+		{"jackson-county-al", geo.Coord{Lat: 34.78, Lon: -86.07}},
+		{"lenoir-nc", geo.Coord{Lat: 35.91, Lon: -81.54}},
+		{"mayes-county-ok", geo.Coord{Lat: 36.24, Lon: -95.33}},
+		{"midlothian-tx", geo.Coord{Lat: 32.48, Lon: -96.99}},
+		{"montgomery-county-tn", geo.Coord{Lat: 36.47, Lon: -87.38}},
+		{"new-albany-oh", geo.Coord{Lat: 40.08, Lon: -82.81}},
+		{"papillion-ne", geo.Coord{Lat: 41.15, Lon: -96.05}},
+		{"the-dalles-or", geo.Coord{Lat: 45.59, Lon: -121.18}},
+		{"henderson-nv", geo.Coord{Lat: 36.04, Lon: -114.98}},
+		{"loudoun-county-va", geo.Coord{Lat: 39.08, Lon: -77.64}},
+		{"quilicura-cl", geo.Coord{Lat: -33.36, Lon: -70.73}},
+		{"eemshaven-nl", geo.Coord{Lat: 53.43, Lon: 6.83}},
+		{"st-ghislain-be", geo.Coord{Lat: 50.45, Lon: 3.82}},
+		{"hamina-fi", geo.Coord{Lat: 60.57, Lon: 27.20}},
+		{"fredericia-dk", geo.Coord{Lat: 55.57, Lon: 9.75}},
+		{"dublin-ie", geo.Coord{Lat: 53.35, Lon: -6.26}},
+		{"changhua-tw", geo.Coord{Lat: 24.08, Lon: 120.54}},
+		{"jurong-west-sg", geo.Coord{Lat: 1.34, Lon: 103.71}},
+	}
+}
+
+// FacebookDataCenters returns Facebook's hyperscale campuses as of the
+// paper's snapshot: predominantly in the northern US and northern Europe,
+// with no presence in Africa or South America (§4.4.2).
+func FacebookDataCenters() []Site {
+	return []Site{
+		{"prineville-or", geo.Coord{Lat: 44.30, Lon: -120.83}},
+		{"forest-city-nc", geo.Coord{Lat: 35.33, Lon: -81.87}},
+		{"altoona-ia", geo.Coord{Lat: 41.65, Lon: -93.47}},
+		{"fort-worth-tx", geo.Coord{Lat: 32.75, Lon: -97.33}},
+		{"los-lunas-nm", geo.Coord{Lat: 34.81, Lon: -106.73}},
+		{"papillion-ne", geo.Coord{Lat: 41.15, Lon: -96.05}},
+		{"new-albany-oh", geo.Coord{Lat: 40.08, Lon: -82.81}},
+		{"henrico-va", geo.Coord{Lat: 37.55, Lon: -77.46}},
+		{"eagle-mountain-ut", geo.Coord{Lat: 40.31, Lon: -112.01}},
+		{"huntsville-al", geo.Coord{Lat: 34.73, Lon: -86.59}},
+		{"newton-county-ga", geo.Coord{Lat: 33.55, Lon: -83.85}},
+		{"dekalb-il", geo.Coord{Lat: 41.93, Lon: -88.77}},
+		{"lulea-se", geo.Coord{Lat: 65.58, Lon: 22.15}},
+		{"clonee-ie", geo.Coord{Lat: 53.41, Lon: -6.44}},
+		{"odense-dk", geo.Coord{Lat: 55.40, Lon: 10.39}},
+		{"singapore-sg", geo.Coord{Lat: 1.32, Lon: 103.70}},
+	}
+}
+
+// SiteCoords extracts the coordinates of a site list.
+func SiteCoords(sites []Site) []geo.Coord {
+	out := make([]geo.Coord, len(sites))
+	for i, s := range sites {
+		out[i] = s.Coord
+	}
+	return out
+}

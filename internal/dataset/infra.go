@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"gicnet/internal/geo"
+	"gicnet/internal/population"
+	"gicnet/internal/xrand"
+)
+
+// Site is a named infrastructure location (IXP, DNS root instance, data
+// center).
+type Site struct {
+	Name  string
+	Coord geo.Coord
+}
+
+// IXPConfig tunes synthetic IXP placement. Defaults match the PCH
+// directory statistics used by the paper: 1026 IXPs, 43% above 40 degrees.
+type IXPConfig struct {
+	Count     int
+	NorthFrac float64
+}
+
+// DefaultIXPConfig returns the calibrated defaults.
+func DefaultIXPConfig() IXPConfig { return IXPConfig{Count: 1026, NorthFrac: 0.40} }
+
+// GenerateIXPs synthesises the IXP directory.
+func GenerateIXPs(cfg IXPConfig, rng *xrand.Source) ([]Site, error) {
+	if cfg.Count <= 0 {
+		return nil, errors.New("dataset: IXP count must be positive")
+	}
+	pop, err := population.New(2)
+	if err != nil {
+		return nil, err
+	}
+	sites := make([]Site, 0, cfg.Count)
+	for i := 0; i < cfg.Count; i++ {
+		c := sampleInfraCoord(rng, pop, cfg.NorthFrac)
+		sites = append(sites, Site{Name: fmt.Sprintf("ixp-%04d", i), Coord: c})
+	}
+	return sites, nil
+}
+
+// RootLetter is one of the 13 DNS root server identities and its anycast
+// instance locations.
+type RootLetter struct {
+	Letter    byte
+	Instances []Site
+}
+
+// DNSConfig tunes synthetic root server placement. Defaults match the
+// root-servers.org snapshot the paper uses: 1076 instances over 13 letters.
+type DNSConfig struct {
+	Instances int
+}
+
+// DefaultDNSConfig returns the calibrated defaults.
+func DefaultDNSConfig() DNSConfig { return DNSConfig{Instances: 1076} }
+
+// continentQuota reflects the real continental distribution of root
+// instances: widely spread, though not proportional to Internet users
+// (Africa hosts roughly half as many as North America, §4.4.3).
+var continentQuota = []struct {
+	region geo.Region
+	share  float64
+	// latMean/latSD and lonLo/lonHi bound instance placement.
+	latMean, latSD float64
+	lonLo, lonHi   float64
+}{
+	{geo.RegionNorthAmerica, 0.26, 39, 6, -123, -71},
+	{geo.RegionEurope, 0.30, 49, 6, -9, 30},
+	{geo.RegionAsia, 0.22, 25, 12, 55, 140},
+	{geo.RegionSouthAmerica, 0.07, -15, 12, -75, -40},
+	{geo.RegionAfrica, 0.10, 0, 15, -10, 40},
+	{geo.RegionOceania, 0.05, -30, 8, 115, 178},
+}
+
+// GenerateDNSRoots synthesises the 13 root letters and their instances.
+func GenerateDNSRoots(cfg DNSConfig, rng *xrand.Source) ([]RootLetter, error) {
+	if cfg.Instances < 13 {
+		return nil, errors.New("dataset: need at least one instance per letter")
+	}
+	letters := make([]RootLetter, 13)
+	for i := range letters {
+		letters[i].Letter = byte('a' + i)
+	}
+	weights := make([]float64, len(continentQuota))
+	for i, q := range continentQuota {
+		weights[i] = q.share
+	}
+	for n := 0; n < cfg.Instances; n++ {
+		li := n % 13 // spread instances round-robin over letters
+		q := continentQuota[rng.Pick(weights)]
+		c := geo.Coord{
+			Lat: clampLat(q.latMean + q.latSD*rng.NormFloat64()),
+			Lon: clampLon(rng.Range(q.lonLo, q.lonHi)),
+		}
+		letters[li].Instances = append(letters[li].Instances, Site{
+			Name:  fmt.Sprintf("%c-root-%03d", letters[li].Letter, len(letters[li].Instances)),
+			Coord: c,
+		})
+	}
+	return letters, nil
+}
+
+// DNSInstanceCoords flattens all instances of all letters.
+func DNSInstanceCoords(letters []RootLetter) []geo.Coord {
+	var out []geo.Coord
+	for _, l := range letters {
+		for _, s := range l.Instances {
+			out = append(out, s.Coord)
+		}
+	}
+	return out
+}

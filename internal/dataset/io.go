@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"gicnet/internal/geo"
+	"gicnet/internal/topology"
+)
+
+// networkJSON is the on-disk schema for a cable network.
+type networkJSON struct {
+	Name   string        `json:"name"`
+	Nodes  []nodeJSON    `json:"nodes"`
+	Cables []cableJSON   `json:"cables"`
+	Schema schemaVersion `json:"schema"`
+}
+
+type schemaVersion struct {
+	Version int `json:"version"`
+}
+
+type nodeJSON struct {
+	Name     string  `json:"name"`
+	Lat      float64 `json:"lat,omitempty"`
+	Lon      float64 `json:"lon,omitempty"`
+	HasCoord bool    `json:"has_coord"`
+	Country  string  `json:"country,omitempty"`
+}
+
+type cableJSON struct {
+	Name        string        `json:"name"`
+	Segments    []segmentJSON `json:"segments"`
+	KnownLength bool          `json:"known_length"`
+}
+
+type segmentJSON struct {
+	A        int     `json:"a"`
+	B        int     `json:"b"`
+	LengthKm float64 `json:"length_km"`
+}
+
+const currentSchema = 1
+
+// WriteNetworkJSON serialises a network.
+func WriteNetworkJSON(w io.Writer, n *topology.Network) error {
+	out := networkJSON{Name: n.Name, Schema: schemaVersion{Version: currentSchema}}
+	for _, nd := range n.Nodes {
+		out.Nodes = append(out.Nodes, nodeJSON{
+			Name: nd.Name, Lat: nd.Coord.Lat, Lon: nd.Coord.Lon,
+			HasCoord: nd.HasCoord, Country: nd.Country,
+		})
+	}
+	for _, c := range n.Cables {
+		cj := cableJSON{Name: c.Name, KnownLength: c.KnownLength}
+		for _, s := range c.Segments {
+			cj.Segments = append(cj.Segments, segmentJSON{A: s.A, B: s.B, LengthKm: s.LengthKm})
+		}
+		out.Cables = append(out.Cables, cj)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadNetworkJSON parses a network and validates it.
+func ReadNetworkJSON(r io.Reader) (*topology.Network, error) {
+	var in networkJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: decode network: %w", err)
+	}
+	if in.Schema.Version != currentSchema {
+		return nil, fmt.Errorf("dataset: unsupported schema version %d", in.Schema.Version)
+	}
+	n := &topology.Network{Name: in.Name}
+	for _, nd := range in.Nodes {
+		n.Nodes = append(n.Nodes, topology.Node{
+			Name:     nd.Name,
+			Coord:    geo.Coord{Lat: nd.Lat, Lon: nd.Lon},
+			HasCoord: nd.HasCoord,
+			Country:  nd.Country,
+		})
+	}
+	for _, c := range in.Cables {
+		cb := topology.Cable{Name: c.Name, KnownLength: c.KnownLength}
+		for _, s := range c.Segments {
+			cb.Segments = append(cb.Segments, topology.Segment{A: s.A, B: s.B, LengthKm: s.LengthKm})
+		}
+		n.Cables = append(n.Cables, cb)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: loaded network invalid: %w", err)
+	}
+	return n, nil
+}
+
+// WriteEndpointsCSV writes one row per node with coordinates:
+// name,country,lat,lon.
+func WriteEndpointsCSV(w io.Writer, n *topology.Network) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "country", "lat", "lon"}); err != nil {
+		return err
+	}
+	for _, nd := range n.Nodes {
+		if !nd.HasCoord {
+			continue
+		}
+		rec := []string{
+			nd.Name, nd.Country,
+			strconv.FormatFloat(nd.Coord.Lat, 'f', 4, 64),
+			strconv.FormatFloat(nd.Coord.Lon, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSitesCSV writes one row per site: name,lat,lon.
+func WriteSitesCSV(w io.Writer, sites []Site) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "lat", "lon"}); err != nil {
+		return err
+	}
+	for _, s := range sites {
+		rec := []string{
+			s.Name,
+			strconv.FormatFloat(s.Coord.Lat, 'f', 4, 64),
+			strconv.FormatFloat(s.Coord.Lon, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,123 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gicnet/internal/geo"
+	"gicnet/internal/topology"
+	"gicnet/internal/xrand"
+)
+
+func smallNet() *topology.Network {
+	return &topology.Network{
+		Name: "tiny",
+		Nodes: []topology.Node{
+			{Name: "a", Coord: geo.Coord{Lat: 1, Lon: 2}, HasCoord: true, Country: "aa"},
+			{Name: "b", Coord: geo.Coord{Lat: 3, Lon: 4}, HasCoord: true, Country: "bb"},
+			{Name: "c", HasCoord: false},
+		},
+		Cables: []topology.Cable{
+			{Name: "ab", Segments: []topology.Segment{{A: 0, B: 1, LengthKm: 500}}, KnownLength: true},
+			{Name: "bc", Segments: []topology.Segment{{A: 1, B: 2, LengthKm: 100}}, KnownLength: false},
+		},
+	}
+}
+
+func TestNetworkJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteNetworkJSON(&buf, smallNet()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNetworkJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := smallNet()
+	if got.Name != want.Name || len(got.Nodes) != len(want.Nodes) || len(got.Cables) != len(want.Cables) {
+		t.Fatalf("shape mismatch: %+v", got)
+	}
+	for i := range want.Nodes {
+		if got.Nodes[i] != want.Nodes[i] {
+			t.Errorf("node %d: %+v != %+v", i, got.Nodes[i], want.Nodes[i])
+		}
+	}
+	for i := range want.Cables {
+		if got.Cables[i].Name != want.Cables[i].Name ||
+			got.Cables[i].KnownLength != want.Cables[i].KnownLength ||
+			got.Cables[i].LengthKm() != want.Cables[i].LengthKm() {
+			t.Errorf("cable %d mismatch", i)
+		}
+	}
+}
+
+func TestNetworkJSONRoundTripGenerated(t *testing.T) {
+	net, err := GenerateSubmarine(DefaultSubmarineConfig(), xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteNetworkJSON(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNetworkJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != len(net.Nodes) || len(got.Cables) != len(net.Cables) {
+		t.Fatal("generated network did not round-trip")
+	}
+}
+
+func TestReadNetworkJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadNetworkJSON(strings.NewReader("not json")); err == nil {
+		t.Error("want decode error")
+	}
+}
+
+func TestReadNetworkJSONRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadNetworkJSON(strings.NewReader(`{"schema":{"version":99}}`)); err == nil {
+		t.Error("want schema error")
+	}
+}
+
+func TestReadNetworkJSONRejectsInvalidNetwork(t *testing.T) {
+	// dangling segment
+	in := `{"name":"x","nodes":[{"name":"a","has_coord":false}],
+		"cables":[{"name":"c","segments":[{"a":0,"b":5,"length_km":10}],"known_length":true}],
+		"schema":{"version":1}}`
+	if _, err := ReadNetworkJSON(strings.NewReader(in)); err == nil {
+		t.Error("want validation error")
+	}
+}
+
+func TestWriteEndpointsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEndpointsCSV(&buf, smallNet()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// header + two nodes with coordinates (node c excluded)
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != "name,country,lat,lon" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a,aa,1.0000,2.0000") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteSitesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	sites := []Site{{Name: "x", Coord: geo.Coord{Lat: -1.5, Lon: 7.25}}}
+	if err := WriteSitesCSV(&buf, sites); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,lat,lon\nx,-1.5000,7.2500\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,9 @@
+package dataset
+
+import "math"
+
+// lnOf is a readability alias for math.Log in generator code.
+func lnOf(x float64) float64 { return math.Log(x) }
+
+// expNeg returns e^-x.
+func expNeg(x float64) float64 { return math.Exp(-x) }

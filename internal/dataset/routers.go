@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+
+	"gicnet/internal/geo"
+	"gicnet/internal/population"
+	"gicnet/internal/xrand"
+)
+
+// AS is one synthetic Autonomous System: a home location and the locations
+// of its routers. It is the unit of the paper's Figure 9 analysis.
+type AS struct {
+	// ASN is a synthetic AS number.
+	ASN int
+	// Home is the operational centre of gravity.
+	Home geo.Coord
+	// Routers holds each router's location. Always non-empty.
+	Routers []geo.Coord
+}
+
+// LatitudeSpread returns the difference between the highest and lowest
+// router latitudes (Fig 9b's metric; 1 degree is about 111 km).
+func (a *AS) LatitudeSpread() float64 {
+	lo, hi := a.Routers[0].Lat, a.Routers[0].Lat
+	for _, r := range a.Routers[1:] {
+		if r.Lat < lo {
+			lo = r.Lat
+		}
+		if r.Lat > hi {
+			hi = r.Lat
+		}
+	}
+	return hi - lo
+}
+
+// PresenceAbove reports whether any router sits above the absolute
+// latitude threshold (Fig 9a's metric).
+func (a *AS) PresenceAbove(threshold float64) bool {
+	for _, r := range a.Routers {
+		if r.AbsLat() > threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// RouterCatalog is the synthetic stand-in for the CAIDA ITDK router and
+// router-to-AS datasets, scaled down (the analysis is distributional, so
+// counts scale freely; defaults: 8192 ASes, ~200k routers vs the paper's
+// 61,448 and 46M).
+type RouterCatalog struct {
+	ASes []AS
+}
+
+// RouterConfig tunes the synthetic router catalog.
+type RouterConfig struct {
+	// ASCount is the number of Autonomous Systems.
+	ASCount int
+	// MeanRoutersPerAS sets the scale of the Zipf-like size distribution.
+	MeanRoutersPerAS float64
+	// SmallASNorthFrac / LargeASNorthFrac are the probabilities that a
+	// small (or large) AS is homed in the northern infrastructure belt
+	// rather than following population. Two knobs because the router
+	// marginal (38% above 40) is driven by large ASes while the AS-count
+	// marginal (57% with presence above 40) is driven by small ones.
+	SmallASNorthFrac float64
+	LargeASNorthFrac float64
+	// LargeASThreshold splits small from large, in routers.
+	LargeASThreshold int
+	// SpreadMedianDeg / SpreadSigma shape the lognormal nominal latitude
+	// spread (Fig 9b: 50% under 1.723 deg, 90% under 18.263 deg).
+	SpreadMedianDeg float64
+	SpreadSigma     float64
+}
+
+// DefaultRouterConfig returns the calibrated defaults.
+func DefaultRouterConfig() RouterConfig {
+	return RouterConfig{
+		ASCount:          8192,
+		MeanRoutersPerAS: 24,
+		SmallASNorthFrac: 0.52,
+		LargeASNorthFrac: 0.16,
+		LargeASThreshold: 24,
+		SpreadMedianDeg:  2.1,
+		SpreadSigma:      1.75,
+	}
+}
+
+// GenerateRouters synthesises the router catalog.
+func GenerateRouters(cfg RouterConfig, rng *xrand.Source) (*RouterCatalog, error) {
+	if cfg.ASCount <= 0 || cfg.MeanRoutersPerAS <= 0 {
+		return nil, errors.New("dataset: router config must be positive")
+	}
+	pop, err := population.New(2)
+	if err != nil {
+		return nil, err
+	}
+	cat := &RouterCatalog{ASes: make([]AS, 0, cfg.ASCount)}
+	for i := 0; i < cfg.ASCount; i++ {
+		size := zipfSize(rng, cfg.MeanRoutersPerAS)
+		north := cfg.SmallASNorthFrac
+		if size >= cfg.LargeASThreshold {
+			north = cfg.LargeASNorthFrac
+		}
+		home := sampleInfraCoord(rng, pop, north)
+		spread := rng.LogNormal(lnOf(cfg.SpreadMedianDeg), cfg.SpreadSigma)
+		if spread > 130 {
+			spread = 130
+		}
+		as := AS{ASN: 64512 + i, Home: home, Routers: make([]geo.Coord, 0, size)}
+		as.Routers = append(as.Routers, home)
+		for r := 1; r < size; r++ {
+			lat := clampLat(home.Lat + rng.Range(-spread/2, spread/2))
+			lon := clampLon(home.Lon + rng.Range(-spread, spread)*1.5)
+			as.Routers = append(as.Routers, geo.Coord{Lat: lat, Lon: lon})
+		}
+		cat.ASes = append(cat.ASes, as)
+	}
+	return cat, nil
+}
+
+// zipfSize draws an AS router count from a heavy-tailed distribution with
+// roughly the requested mean: most ASes are tiny, a few are continental.
+func zipfSize(rng *xrand.Source, mean float64) int {
+	// Pareto with alpha ~1.35 truncated at 20000, shifted to minimum 1.
+	const alpha = 1.35
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	x := math.Pow(u, -1/alpha) // Pareto(1, alpha)
+	// Scale so the truncated mean lands near the requested mean.
+	size := int(x * mean / 4.0)
+	if size < 1 {
+		size = 1
+	}
+	if size > 20000 {
+		size = 20000
+	}
+	return size
+}
+
+// sampleInfraCoord draws an infrastructure location: with probability
+// northFrac from the northern infrastructure belt (N(50, 8) latitude),
+// otherwise following the population marginal. Longitude concentrates on
+// the inhabited meridians of the chosen hemisphere band.
+func sampleInfraCoord(rng *xrand.Source, pop *population.Model, northFrac float64) geo.Coord {
+	var lat float64
+	if rng.Bool(northFrac) {
+		lat = clampLat(50 + 8*rng.NormFloat64())
+	} else {
+		lat = pop.SampleLat(rng)
+	}
+	return geo.Coord{Lat: lat, Lon: infraLon(rng, lat)}
+}
+
+// infraLon picks a longitude from the major inhabited bands for a given
+// latitude: the Americas, Europe/Africa, and Asia/Oceania corridors.
+func infraLon(rng *xrand.Source, lat float64) float64 {
+	type band struct {
+		lo, hi float64
+		w      float64
+	}
+	var bands []band
+	switch {
+	case lat > 30: // N. America, Europe, N. Asia
+		bands = []band{{-125, -70, 3}, {-10, 40, 4}, {60, 140, 2.5}}
+	case lat > 0: // Central America, Africa, S/SE Asia
+		bands = []band{{-110, -60, 1.5}, {-17, 50, 2}, {65, 125, 4}}
+	default: // S. America, S. Africa, Oceania
+		bands = []band{{-80, -35, 2}, {10, 45, 1.5}, {110, 180, 1.5}}
+	}
+	weights := make([]float64, len(bands))
+	for i, b := range bands {
+		weights[i] = b.w
+	}
+	b := bands[rng.Pick(weights)]
+	return clampLon(rng.Range(b.lo, b.hi))
+}
+
+// RouterCount returns the total router count over all ASes.
+func (c *RouterCatalog) RouterCount() int {
+	n := 0
+	for i := range c.ASes {
+		n += len(c.ASes[i].Routers)
+	}
+	return n
+}
+
+// RouterCoords returns all router locations (order: by AS, then router).
+func (c *RouterCatalog) RouterCoords() []geo.Coord {
+	out := make([]geo.Coord, 0, c.RouterCount())
+	for i := range c.ASes {
+		out = append(out, c.ASes[i].Routers...)
+	}
+	return out
+}
+
+// ASReachCurve returns, for each threshold, the fraction of ASes with at
+// least one router above it (Fig 9a).
+func (c *RouterCatalog) ASReachCurve(thresholds []float64) []float64 {
+	out := make([]float64, len(thresholds))
+	if len(c.ASes) == 0 {
+		return out
+	}
+	for ti, t := range thresholds {
+		n := 0
+		for i := range c.ASes {
+			if c.ASes[i].PresenceAbove(t) {
+				n++
+			}
+		}
+		out[ti] = float64(n) / float64(len(c.ASes))
+	}
+	return out
+}
+
+// SpreadSample returns every AS's latitude spread (Fig 9b).
+func (c *RouterCatalog) SpreadSample() []float64 {
+	out := make([]float64, len(c.ASes))
+	for i := range c.ASes {
+		out[i] = c.ASes[i].LatitudeSpread()
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package dataset
+
+// trunk is a hand-crafted major submarine cable. Path entries are anchor
+// names in landing order; LengthKm is the published route length of the
+// real system the trunk mirrors (total over branches). These systems are
+// public knowledge (TeleGeography's public map) and carry the paper's
+// country-scale narrative: which cables connect the US to Europe, Brazil to
+// Portugal, Singapore to its neighbours, and so on.
+type trunk struct {
+	Name     string
+	Path     []string
+	LengthKm float64
+}
+
+var trunks = []trunk{
+	// --- Transatlantic: the NE-US <-> N-Europe concentration (§4.2.2) ---
+	{"tat-north", []string{"new-york", "bude"}, 6500},
+	{"aec-1", []string{"long-island", "dublin"}, 5536},
+	{"havfrue", []string{"wall-nj", "kristiansand", "blaabjerg"}, 7200},
+	{"grace-hopper", []string{"new-york", "bude", "bilbao"}, 7191},
+	{"marea", []string{"virginia-beach", "bilbao"}, 6605},
+	{"dunant", []string{"virginia-beach", "saint-hilaire"}, 6400},
+	{"amitie", []string{"boston", "bude", "brest"}, 6800},
+	{"atlantic-crossing", []string{"long-island", "southport", "norden", "katwijk"}, 14000},
+	{"flag-atlantic", []string{"long-island", "brest", "london"}, 13000},
+	{"apollo", []string{"wall-nj", "bude", "brest"}, 13000},
+	{"hibernia-express", []string{"halifax", "southport"}, 4600},
+	// The single US(Florida)-S.Europe link the paper highlights: 9833 km.
+	{"columbus-iii", []string{"boca-raton", "sines"}, 9833},
+	// Brazil-Portugal: shorter than Florida-Portugal (§4.3.4 Brazil).
+	{"ellalink", []string{"fortaleza", "sines"}, 6200},
+	{"greenland-connect", []string{"nuuk", "reykjavik", "st-johns"}, 4800},
+	{"danice-farice", []string{"reykjavik", "torshavn", "oban", "blaabjerg"}, 2600},
+	// --- Intra-Europe short systems (the continent's resilience, §4.4.4) ---
+	{"celtic-connect", []string{"dublin", "southport"}, 250},
+	{"north-sea-link", []string{"katwijk", "london"}, 350},
+	{"skagen", []string{"kristiansand", "blaabjerg"}, 320},
+	{"baltic-gate", []string{"stockholm", "helsinki"}, 400},
+	{"estlink", []string{"helsinki", "tallinn"}, 90},
+	{"baltica", []string{"gdansk", "stockholm", "riga"}, 1100},
+	{"norse-link", []string{"oslo", "blaabjerg"}, 650},
+	{"channel-x", []string{"brest", "bude"}, 320},
+	{"biscay-link", []string{"bilbao", "brest"}, 600},
+	{"med-loop-west", []string{"marseille", "barcelona"}, 350},
+	{"med-loop-east", []string{"marseille", "genoa"}, 300},
+	{"adria-1", []string{"bari", "athens"}, 900},
+	{"sicily-malta", []string{"palermo", "valletta"}, 350},
+	{"kafos", []string{"odessa", "constanta", "varna", "istanbul", "poti"}, 1900},
+	// --- Europe <-> Asia trunks through Suez ---
+	{"sea-me-we-3", []string{
+		"norden", "bude", "sines", "marseille", "palermo", "alexandria",
+		"suez", "jeddah", "djibouti", "muscat", "karachi", "mumbai",
+		"cochin", "colombo", "penang", "singapore", "jakarta", "perth",
+		"da-nang", "hong-kong", "shantou", "toucheng", "busan", "chikura",
+		"okinawa"}, 39000},
+	{"sea-me-we-4", []string{
+		"marseille", "alexandria", "suez", "jeddah", "karachi", "mumbai",
+		"colombo", "chennai", "penang", "singapore"}, 18800},
+	{"sea-me-we-5", []string{
+		"marseille", "chania", "alexandria", "suez", "jeddah", "djibouti",
+		"muscat", "fujairah", "karachi", "mumbai", "colombo", "coxs-bazar",
+		"yangon", "songkhla", "penang", "singapore"}, 20000},
+	{"aae-1", []string{
+		"marseille", "alexandria", "suez", "jeddah", "djibouti", "fujairah",
+		"karachi", "mumbai", "colombo", "yangon", "songkhla", "penang",
+		"singapore", "vung-tau", "hong-kong"}, 25000},
+	// Shanghai's cables are all very long multi-city systems (>= 28000 km,
+	// §4.3.4 China).
+	{"flag-europe-asia", []string{
+		"bude", "sines", "alexandria", "suez", "jeddah", "fujairah",
+		"mumbai", "penang", "songkhla", "hong-kong", "shanghai", "busan",
+		"chikura"}, 28000},
+	{"trans-pacific-express", []string{
+		"qingdao", "shanghai", "toucheng", "keoje", "chikura",
+		"nedonna-beach-or"}, 28100},
+	{"new-cross-pacific", []string{
+		"shanghai", "qingdao", "toucheng", "chikura", "nedonna-beach-or"}, 28200},
+	// --- Transpacific ---
+	{"unity", []string{"chikura", "los-angeles"}, 9620},
+	{"faster", []string{"shima", "kitaibaraki", "nedonna-beach-or"}, 11629},
+	{"jupiter", []string{"shima", "chikura", "los-angeles"}, 14000},
+	{"pc-1", []string{"kitaibaraki", "shima", "nedonna-beach-or"}, 21000},
+	{"japan-hawaii-us", []string{"chikura", "honolulu", "san-luis-obispo"}, 13000},
+	// The S1 survivor on the US west coast: Southern California to
+	// Hawaii/Micronesia/Philippines/Indonesia, all low-latitude (§4.3.4 US).
+	{"sea-us", []string{"davao", "manado", "guam", "honolulu", "los-angeles"}, 14500},
+	{"aag", []string{
+		"mersing", "singapore", "brunei", "vung-tau", "hong-kong", "manila",
+		"guam", "honolulu", "san-luis-obispo"}, 20000},
+	// --- Oceania ---
+	{"southern-cross", []string{"sydney", "auckland", "suva", "honolulu", "san-luis-obispo"}, 30500},
+	{"hawaiki", []string{"sydney", "auckland", "honolulu", "nedonna-beach-or"}, 15000},
+	{"tasman-global", []string{"sydney", "auckland"}, 2288},
+	{"australia-singapore", []string{"perth", "jakarta", "singapore"}, 4600},
+	{"ppc-1", []string{"sydney", "port-moresby"}, 6900},
+	{"honotua", []string{"papeete", "honolulu"}, 4805},
+	{"manatua", []string{"apia", "papeete"}, 3600},
+	{"north-west-cable", []string{"darwin", "port-moresby"}, 2100},
+	{"indigo-west", []string{"perth", "jakarta", "singapore"}, 9200},
+	// --- Americas ---
+	{"monet", []string{"boca-raton", "fortaleza", "santos"}, 10556},
+	{"americas-ii", []string{"boca-raton", "san-juan", "port-of-spain", "fortaleza"}, 8373},
+	{"sam-1", []string{
+		"boca-raton", "san-juan", "fortaleza", "rio-de-janeiro", "santos",
+		"las-toninas", "valparaiso", "lurin", "barranquilla", "puerto-limon"}, 25000},
+	{"atlantis-2", []string{"las-toninas", "rio-de-janeiro", "fortaleza", "dakar", "lisbon"}, 12000},
+	{"south-pacific-chile", []string{"valparaiso", "lurin", "salinas", "panama-city"}, 7050},
+	{"arcos", []string{
+		"miami", "nassau", "santo-domingo", "san-juan", "cancun",
+		"puerto-limon", "colon", "barranquilla", "camuri"}, 8600},
+	{"maya-1", []string{"miami", "cancun", "puerto-limon", "colon"}, 4400},
+	{"pan-american-crossing", []string{"los-angeles", "mazatlan", "panama-city"}, 10000},
+	{"sacs", []string{"fortaleza", "luanda"}, 6165},
+	{"gemini-bermuda", []string{"hamilton", "wall-nj"}, 1500},
+	{"alaska-united", []string{"anchorage", "juneau", "seattle"}, 3500},
+	{"alaska-bc", []string{"juneau", "vancouver"}, 1300},
+	// --- Africa ---
+	{"equiano", []string{"lisbon", "accra", "lagos", "swakopmund", "melkbosstrand"}, 15000},
+	{"wacs", []string{
+		"lisbon", "dakar", "abidjan", "accra", "lagos", "douala", "luanda",
+		"swakopmund", "melkbosstrand"}, 14530},
+	{"sat-3", []string{
+		"sines", "dakar", "abidjan", "accra", "lagos", "douala", "luanda",
+		"melkbosstrand"}, 13000},
+	{"ace", []string{"brest", "casablanca", "dakar", "abidjan", "accra", "lagos"}, 17000},
+	{"main-one", []string{"lisbon", "accra", "lagos"}, 7000},
+	{"eassy", []string{
+		"mtunzini", "maputo", "dar-es-salaam", "mombasa", "mogadishu",
+		"djibouti", "port-sudan"}, 10000},
+	{"seacom", []string{
+		"mtunzini", "dar-es-salaam", "mombasa", "djibouti", "zafarana",
+		"mumbai"}, 17000},
+	{"safe", []string{"melkbosstrand", "mtunzini", "port-louis", "cochin", "penang"}, 13500},
+	{"lion", []string{"port-louis", "toliara", "mombasa"}, 4000},
+	{"metiss", []string{"port-louis", "toliara", "mtunzini"}, 3200},
+	// --- Middle East / South Asia regional ---
+	{"falcon", []string{
+		"suez", "jeddah", "al-hudaydah", "djibouti", "muscat", "fujairah",
+		"manama", "doha", "karachi", "mumbai"}, 10300},
+	{"gulf-bridge", []string{"fujairah", "doha", "manama", "muscat"}, 1700},
+	{"i2i", []string{"chennai", "singapore"}, 3100},
+	{"tata-indicom", []string{"chennai", "singapore"}, 3175},
+	{"bay-of-bengal-gateway", []string{
+		"muscat", "fujairah", "mumbai", "chennai", "penang", "singapore"}, 8000},
+	// --- Intra-Asia ---
+	{"sijori", []string{"singapore", "batam"}, 90},
+	{"batam-dumai-melaka", []string{"batam", "mersing"}, 300},
+	{"jasuka", []string{"jakarta", "batam", "singapore"}, 1800},
+	{"matrix", []string{"jakarta", "singapore"}, 1055},
+	{"gulf-of-thailand", []string{"songkhla", "sihanoukville", "vung-tau"}, 1300},
+	{"tgn-intra-asia", []string{"singapore", "vung-tau", "hong-kong", "manila", "toucheng"}, 6700},
+	{"sjc", []string{
+		"singapore", "batam", "brunei", "hong-kong", "shantou", "toucheng",
+		"chikura"}, 8900},
+	// The most survivable China system under S1: China to Japan,
+	// Philippines, Singapore, Malaysia (§4.3.4 China).
+	{"sjc-2", []string{"shantou", "hong-kong", "chikura", "manila", "singapore", "mersing"}, 10500},
+	{"apcn-2", []string{
+		"singapore", "hong-kong", "shantou", "toucheng", "busan", "chikura",
+		"okinawa"}, 19000},
+	{"east-asia-crossing", []string{"hong-kong", "toucheng", "okinawa", "chikura", "busan"}, 19800},
+	{"korea-japan", []string{"busan", "keoje", "kitaibaraki"}, 1300},
+	{"hong-kong-taiwan", []string{"hong-kong", "fangshan"}, 800},
+	{"russia-japan", []string{"nakhodka", "kitaibaraki"}, 1800},
+	{"hainan-vietnam", []string{"hong-kong", "da-nang", "vung-tau"}, 1800},
+	{"okinawa-taiwan", []string{"okinawa", "toucheng"}, 700},
+	{"dhiraagu", []string{"male", "colombo"}, 840},
+	// --- Additional real systems (snapshot-era) ---
+	{"curie", []string{"los-angeles", "valparaiso"}, 10500},
+	{"brusa", []string{"virginia-beach", "san-juan", "fortaleza", "rio-de-janeiro"}, 11000},
+	{"seabras-1", []string{"new-york", "santos"}, 10800},
+	{"sail", []string{"fortaleza", "douala"}, 6000},
+	{"amx-1", []string{
+		"miami", "cancun", "cartagena", "barranquilla", "san-juan",
+		"fortaleza", "rio-de-janeiro", "santos"}, 17800},
+	{"pccs", []string{"jacksonville", "san-juan", "cartagena", "salinas", "panama-city"}, 6000},
+	{"tannat", []string{"santos", "maldonado", "las-toninas"}, 2000},
+	{"junior", []string{"rio-de-janeiro", "santos"}, 390},
+	{"malbec", []string{"las-toninas", "rio-de-janeiro"}, 2600},
+	{"austral", []string{"valparaiso", "puerto-montt", "punta-arenas"}, 2800},
+	{"guyana-bridge", []string{"port-of-spain", "georgetown", "paramaribo", "cayenne"}, 1700},
+	{"cayman-jamaica", []string{"grand-cayman", "kingston"}, 850},
+	{"fibralink", []string{"kingston", "santo-domingo"}, 900},
+	{"bahamas-2", []string{"nassau", "boca-raton"}, 470},
+	{"haiti-connect", []string{"port-au-prince", "kingston"}, 550},
+	{"peace", []string{"karachi", "djibouti", "mombasa", "marseille"}, 12000},
+	{"dare-1", []string{"djibouti", "mogadishu", "mombasa"}, 4747},
+	{"oman-australia", []string{"muscat", "perth"}, 9800},
+	{"iox", []string{"port-louis", "mumbai"}, 8850},
+	{"seychelles-east-africa", []string{"victoria-seychelles", "dar-es-salaam"}, 1900},
+	{"fly-lion-3", []string{"moroni", "toliara"}, 1450},
+	{"gulf-2", []string{"kuwait", "manama", "doha", "fujairah"}, 1300},
+	{"canaries-link", []string{"las-palmas", "casablanca"}, 1400},
+	{"azores-link", []string{"azores", "lisbon"}, 1500},
+	{"cape-verde-link", []string{"praia", "dakar"}, 800},
+	{"svalbard-cable", []string{"longyearbyen", "harstad"}, 1375},
+	// The planned Arctic route the paper flags as latency-attractive but
+	// GIC-exposed (§5.1): a deliberately high-band system.
+	{"polar-express", []string{"murmansk", "vladivostok"}, 12650},
+	{"japan-guam-australia", []string{"shima", "guam", "sydney"}, 9500},
+	{"australia-japan-cable", []string{"sydney", "guam", "chikura"}, 12700},
+	{"coral-sea", []string{"sydney", "port-moresby", "honiara"}, 4700},
+	{"tonga-cable", []string{"nukualofa", "suva"}, 827},
+	{"interchange-vanuatu", []string{"port-vila", "suva"}, 1258},
+	{"gondwana", []string{"noumea", "sydney"}, 2100},
+	{"hantru-1", []string{"majuro", "pohnpei", "guam"}, 3400},
+	{"palau-spur", []string{"palau", "guam"}, 1450},
+	{"marianas-link", []string{"saipan", "guam"}, 280},
+	{"samoa-hawaii", []string{"pago-pago", "apia", "honolulu"}, 4200},
+	{"southern-cross-next", []string{
+		"sydney", "auckland", "suva", "tarawa", "honolulu", "los-angeles"}, 15857},
+	{"borneo-ring", []string{"kuching", "kota-kinabalu", "brunei"}, 1200},
+	{"philippines-domestic", []string{"cebu", "manila", "davao"}, 1500},
+	{"sulawesi-link", []string{"makassar", "surabaya"}, 800},
+	{"hainan-ring", []string{"sanya", "hong-kong", "da-nang"}, 1900},
+}
+
+// TrunkCount reports how many hand-crafted trunk systems seed the
+// submarine network.
+func TrunkCount() int { return len(trunks) }

@@ -1,0 +1,126 @@
+package dataset
+
+import "gicnet/internal/geo"
+
+// usCity seeds the synthetic US long-haul fiber network (the Intertubes
+// substitution). Coordinates are approximate public knowledge. Weight
+// reflects fiber-conduit concentration (Intertubes shows long-haul routes
+// hugging major metros and highway corridors).
+type usCity struct {
+	Name   string
+	Coord  geo.Coord
+	Weight float64
+}
+
+var usCities = []usCity{
+	// Northeast
+	{"new-york", geo.Coord{Lat: 40.71, Lon: -74.01}, 9},
+	{"newark", geo.Coord{Lat: 40.74, Lon: -74.17}, 5},
+	{"philadelphia", geo.Coord{Lat: 39.95, Lon: -75.17}, 6},
+	{"boston", geo.Coord{Lat: 42.36, Lon: -71.06}, 6},
+	{"providence", geo.Coord{Lat: 41.82, Lon: -71.41}, 3},
+	{"hartford", geo.Coord{Lat: 41.76, Lon: -72.67}, 3},
+	{"albany", geo.Coord{Lat: 42.65, Lon: -73.75}, 3},
+	{"syracuse", geo.Coord{Lat: 43.05, Lon: -76.15}, 2.5},
+	{"rochester", geo.Coord{Lat: 43.16, Lon: -77.61}, 2.5},
+	{"buffalo", geo.Coord{Lat: 42.89, Lon: -78.88}, 3.5},
+	{"portland-me", geo.Coord{Lat: 43.66, Lon: -70.26}, 2},
+	{"burlington-vt", geo.Coord{Lat: 44.48, Lon: -73.21}, 1.5},
+	{"manchester-nh", geo.Coord{Lat: 42.99, Lon: -71.45}, 1.5},
+	{"pittsburgh", geo.Coord{Lat: 40.44, Lon: -79.99}, 4},
+	{"harrisburg", geo.Coord{Lat: 40.27, Lon: -76.88}, 2.5},
+	{"scranton", geo.Coord{Lat: 41.41, Lon: -75.66}, 2},
+	// Mid-Atlantic / Southeast
+	{"baltimore", geo.Coord{Lat: 39.29, Lon: -76.61}, 4},
+	{"washington-dc", geo.Coord{Lat: 38.91, Lon: -77.04}, 8},
+	{"ashburn", geo.Coord{Lat: 39.04, Lon: -77.49}, 7},
+	{"richmond", geo.Coord{Lat: 37.54, Lon: -77.44}, 3},
+	{"norfolk", geo.Coord{Lat: 36.85, Lon: -76.29}, 3},
+	{"raleigh", geo.Coord{Lat: 35.78, Lon: -78.64}, 3.5},
+	{"charlotte", geo.Coord{Lat: 35.23, Lon: -80.84}, 4},
+	{"greensboro", geo.Coord{Lat: 36.07, Lon: -79.79}, 2.5},
+	{"columbia-sc", geo.Coord{Lat: 34.00, Lon: -81.03}, 2},
+	{"charleston-sc", geo.Coord{Lat: 32.78, Lon: -79.93}, 2},
+	{"atlanta", geo.Coord{Lat: 33.75, Lon: -84.39}, 7},
+	{"savannah", geo.Coord{Lat: 32.08, Lon: -81.09}, 2},
+	{"jacksonville", geo.Coord{Lat: 30.33, Lon: -81.66}, 3.5},
+	{"orlando", geo.Coord{Lat: 28.54, Lon: -81.38}, 3.5},
+	{"tampa", geo.Coord{Lat: 27.95, Lon: -82.46}, 3.5},
+	{"miami", geo.Coord{Lat: 25.76, Lon: -80.19}, 6},
+	{"tallahassee", geo.Coord{Lat: 30.44, Lon: -84.28}, 2},
+	{"birmingham", geo.Coord{Lat: 33.52, Lon: -86.80}, 2.5},
+	{"nashville", geo.Coord{Lat: 36.16, Lon: -86.78}, 3.5},
+	{"memphis", geo.Coord{Lat: 35.15, Lon: -90.05}, 3},
+	{"knoxville", geo.Coord{Lat: 35.96, Lon: -83.92}, 2},
+	{"louisville", geo.Coord{Lat: 38.25, Lon: -85.76}, 2.5},
+	{"lexington", geo.Coord{Lat: 38.04, Lon: -84.50}, 2},
+	// Midwest
+	{"cleveland", geo.Coord{Lat: 41.50, Lon: -81.69}, 4},
+	{"columbus-oh", geo.Coord{Lat: 39.96, Lon: -83.00}, 4},
+	{"cincinnati", geo.Coord{Lat: 39.10, Lon: -84.51}, 3.5},
+	{"toledo", geo.Coord{Lat: 41.65, Lon: -83.54}, 2.5},
+	{"akron", geo.Coord{Lat: 41.08, Lon: -81.52}, 2},
+	{"detroit", geo.Coord{Lat: 42.33, Lon: -83.05}, 4.5},
+	{"grand-rapids", geo.Coord{Lat: 42.96, Lon: -85.66}, 2},
+	{"indianapolis", geo.Coord{Lat: 39.77, Lon: -86.16}, 3.5},
+	{"chicago", geo.Coord{Lat: 41.88, Lon: -87.63}, 9},
+	{"milwaukee", geo.Coord{Lat: 43.04, Lon: -87.91}, 3},
+	{"madison", geo.Coord{Lat: 43.07, Lon: -89.40}, 2},
+	{"minneapolis", geo.Coord{Lat: 44.98, Lon: -93.27}, 4.5},
+	{"duluth", geo.Coord{Lat: 46.79, Lon: -92.10}, 1.5},
+	{"des-moines", geo.Coord{Lat: 41.59, Lon: -93.62}, 2.5},
+	{"omaha", geo.Coord{Lat: 41.26, Lon: -95.94}, 3},
+	{"kansas-city", geo.Coord{Lat: 39.10, Lon: -94.58}, 4},
+	{"st-louis", geo.Coord{Lat: 38.63, Lon: -90.20}, 4},
+	{"springfield-mo", geo.Coord{Lat: 37.21, Lon: -93.29}, 1.5},
+	{"wichita", geo.Coord{Lat: 37.69, Lon: -97.34}, 2},
+	{"fargo", geo.Coord{Lat: 46.88, Lon: -96.79}, 1.5},
+	{"sioux-falls", geo.Coord{Lat: 43.54, Lon: -96.73}, 1.5},
+	{"bismarck", geo.Coord{Lat: 46.81, Lon: -100.78}, 1.2},
+	// South Central
+	{"new-orleans", geo.Coord{Lat: 29.95, Lon: -90.07}, 3},
+	{"baton-rouge", geo.Coord{Lat: 30.45, Lon: -91.19}, 2},
+	{"jackson-ms", geo.Coord{Lat: 32.30, Lon: -90.18}, 1.8},
+	{"little-rock", geo.Coord{Lat: 34.75, Lon: -92.29}, 2},
+	{"houston", geo.Coord{Lat: 29.76, Lon: -95.37}, 6},
+	{"dallas", geo.Coord{Lat: 32.78, Lon: -96.80}, 7},
+	{"austin", geo.Coord{Lat: 30.27, Lon: -97.74}, 4},
+	{"san-antonio", geo.Coord{Lat: 29.42, Lon: -98.49}, 4},
+	{"el-paso", geo.Coord{Lat: 31.76, Lon: -106.49}, 2.5},
+	{"oklahoma-city", geo.Coord{Lat: 35.47, Lon: -97.52}, 2.5},
+	{"tulsa", geo.Coord{Lat: 36.15, Lon: -95.99}, 2},
+	{"amarillo", geo.Coord{Lat: 35.22, Lon: -101.83}, 1.5},
+	{"lubbock", geo.Coord{Lat: 33.58, Lon: -101.86}, 1.3},
+	// Mountain
+	{"denver", geo.Coord{Lat: 39.74, Lon: -104.99}, 5},
+	{"colorado-springs", geo.Coord{Lat: 38.83, Lon: -104.82}, 2},
+	{"cheyenne", geo.Coord{Lat: 41.14, Lon: -104.82}, 1.5},
+	{"casper", geo.Coord{Lat: 42.87, Lon: -106.31}, 1.2},
+	{"billings", geo.Coord{Lat: 45.78, Lon: -108.50}, 1.5},
+	{"helena", geo.Coord{Lat: 46.59, Lon: -112.04}, 1.2},
+	{"boise", geo.Coord{Lat: 43.62, Lon: -116.21}, 2},
+	{"salt-lake-city", geo.Coord{Lat: 40.76, Lon: -111.89}, 4},
+	{"albuquerque", geo.Coord{Lat: 35.08, Lon: -106.65}, 2.5},
+	{"phoenix", geo.Coord{Lat: 33.45, Lon: -112.07}, 4.5},
+	{"tucson", geo.Coord{Lat: 32.22, Lon: -110.97}, 2},
+	{"las-vegas", geo.Coord{Lat: 36.17, Lon: -115.14}, 3.5},
+	{"reno", geo.Coord{Lat: 39.53, Lon: -119.81}, 2},
+	// Pacific
+	{"seattle", geo.Coord{Lat: 47.61, Lon: -122.33}, 5.5},
+	{"tacoma", geo.Coord{Lat: 47.25, Lon: -122.44}, 2},
+	{"spokane", geo.Coord{Lat: 47.66, Lon: -117.43}, 1.8},
+	{"portland-or", geo.Coord{Lat: 45.52, Lon: -122.68}, 4},
+	{"eugene", geo.Coord{Lat: 44.05, Lon: -123.09}, 1.5},
+	{"medford", geo.Coord{Lat: 42.33, Lon: -122.88}, 1.3},
+	{"sacramento", geo.Coord{Lat: 38.58, Lon: -121.49}, 3},
+	{"san-francisco", geo.Coord{Lat: 37.77, Lon: -122.42}, 7},
+	{"san-jose", geo.Coord{Lat: 37.34, Lon: -121.89}, 6},
+	{"fresno", geo.Coord{Lat: 36.74, Lon: -119.79}, 2},
+	{"bakersfield", geo.Coord{Lat: 35.37, Lon: -119.02}, 1.8},
+	{"los-angeles", geo.Coord{Lat: 34.05, Lon: -118.24}, 8},
+	{"san-diego", geo.Coord{Lat: 32.72, Lon: -117.16}, 4},
+	{"santa-barbara", geo.Coord{Lat: 34.42, Lon: -119.70}, 1.5},
+}
+
+// USCityCount reports the number of seed cities.
+func USCityCount() int { return len(usCities) }

@@ -1,0 +1,137 @@
+// Package dataset synthesises every dataset the paper analyses, calibrated
+// to the statistics the paper reports about the originals (see DESIGN.md
+// for the substitution table): the submarine cable map, the Intertubes US
+// long-haul network, the ITU global land network, the CAIDA router/AS
+// catalog, the PCH IXP directory, DNS root instances, hyperscaler data
+// center locations, and the gridded world population.
+package dataset
+
+import (
+	"fmt"
+	"sync"
+
+	"gicnet/internal/population"
+	"gicnet/internal/topology"
+	"gicnet/internal/xrand"
+)
+
+// World bundles every dataset used by the analyses.
+type World struct {
+	// Submarine, Intertubes and ITU are the three cable networks.
+	Submarine  *topology.Network
+	Intertubes *topology.Network
+	ITU        *topology.Network
+	// Routers is the AS/router catalog.
+	Routers *RouterCatalog
+	// IXPs are exchange point locations.
+	IXPs []Site
+	// DNSRoots are the 13 root letters and their anycast instances.
+	DNSRoots []RootLetter
+	// GoogleDCs and FacebookDCs are hyperscaler campuses.
+	GoogleDCs   []Site
+	FacebookDCs []Site
+	// Population is the latitude population model (2-degree bins).
+	Population *population.Model
+	// Seed reproduces the world.
+	Seed uint64
+}
+
+// WorldConfig bundles all generator configurations.
+type WorldConfig struct {
+	Submarine  SubmarineConfig
+	Intertubes IntertubesConfig
+	ITU        ITUConfig
+	Routers    RouterConfig
+	IXPs       IXPConfig
+	DNS        DNSConfig
+}
+
+// DefaultWorldConfig returns the calibrated defaults for every dataset.
+func DefaultWorldConfig() WorldConfig {
+	return WorldConfig{
+		Submarine:  DefaultSubmarineConfig(),
+		Intertubes: DefaultIntertubesConfig(),
+		ITU:        DefaultITUConfig(),
+		Routers:    DefaultRouterConfig(),
+		IXPs:       DefaultIXPConfig(),
+		DNS:        DefaultDNSConfig(),
+	}
+}
+
+// DefaultSeed seeds the canonical world used by tests, benchmarks and the
+// reproduction harness. 1859 is the Carrington year.
+const DefaultSeed uint64 = 1859
+
+// GenerateWorld builds a complete world from a seed. Sub-generators get
+// independent split streams, so regenerating one dataset with a different
+// config does not perturb the others.
+func GenerateWorld(cfg WorldConfig, seed uint64) (*World, error) {
+	root := xrand.New(seed)
+	sub, err := GenerateSubmarine(cfg.Submarine, root.Split(1))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: submarine: %w", err)
+	}
+	tubes, err := GenerateIntertubes(cfg.Intertubes, root.Split(2))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: intertubes: %w", err)
+	}
+	itu, err := GenerateITU(cfg.ITU, root.Split(3))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: itu: %w", err)
+	}
+	routers, err := GenerateRouters(cfg.Routers, root.Split(4))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: routers: %w", err)
+	}
+	ixps, err := GenerateIXPs(cfg.IXPs, root.Split(5))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: ixps: %w", err)
+	}
+	roots, err := GenerateDNSRoots(cfg.DNS, root.Split(6))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: dns: %w", err)
+	}
+	pop, err := population.New(2)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: population: %w", err)
+	}
+	return &World{
+		Submarine:   sub,
+		Intertubes:  tubes,
+		ITU:         itu,
+		Routers:     routers,
+		IXPs:        ixps,
+		DNSRoots:    roots,
+		GoogleDCs:   GoogleDataCenters(),
+		FacebookDCs: FacebookDataCenters(),
+		Population:  pop,
+		Seed:        seed,
+	}, nil
+}
+
+// Networks returns the three cable networks in the paper's reporting order.
+func (w *World) Networks() []*topology.Network {
+	return []*topology.Network{w.Submarine, w.Intertubes, w.ITU}
+}
+
+var (
+	defaultWorld     *World
+	defaultWorldErr  error
+	defaultWorldOnce sync.Once
+)
+
+// Default returns the canonical world (DefaultWorldConfig, DefaultSeed),
+// generated once per process. Callers must treat it as read-only; anything
+// that mutates networks should call GenerateWorld for a private copy.
+func Default() (*World, error) {
+	defaultWorldOnce.Do(func() {
+		defaultWorld, defaultWorldErr = GenerateWorld(DefaultWorldConfig(), DefaultSeed)
+		if defaultWorldErr == nil {
+			// Prime graph caches so read-only concurrent use is safe.
+			for _, n := range defaultWorld.Networks() {
+				n.Graph()
+			}
+		}
+	})
+	return defaultWorld, defaultWorldErr
+}

@@ -1,0 +1,115 @@
+package econ
+
+import (
+	"math"
+	"testing"
+
+	"gicnet/internal/geo"
+)
+
+func TestOutageValidation(t *testing.T) {
+	bad := []Outage{
+		{Region: geo.RegionEurope, LossFrac: -0.1, RestoreDays: 10},
+		{Region: geo.RegionEurope, LossFrac: 1.1, RestoreDays: 10},
+		{Region: geo.RegionEurope, LossFrac: 0.5, RestoreDays: -1},
+	}
+	for i, o := range bad {
+		if _, err := o.Cost(); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestOutageCostIntegral(t *testing.T) {
+	// Full US-region outage for 2 days, linear restoration: integral is
+	// daily * 1.0 * 2/2 = one full day of cost.
+	o := Outage{Region: geo.RegionNorthAmerica, LossFrac: 1, RestoreDays: 2}
+	c, err := o.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-DailyCostUSD[geo.RegionNorthAmerica]) > 1 {
+		t.Errorf("cost = %v", c)
+	}
+	// Zero-duration outage costs nothing.
+	o.RestoreDays = 0
+	if c, _ := o.Cost(); c != 0 {
+		t.Errorf("instant outage cost = %v", c)
+	}
+	// Unmodelled region costs nothing.
+	ocean := Outage{Region: geo.RegionOcean, LossFrac: 1, RestoreDays: 100}
+	if c, _ := ocean.Cost(); c != 0 {
+		t.Errorf("ocean cost = %v", c)
+	}
+}
+
+func TestPaperHeadlineMagnitude(t *testing.T) {
+	// A Carrington-scale event: near-total loss in the northern regions,
+	// months of restoration. Total should land in the paper's cited
+	// trillion-dollar regime (the Lloyd's grid estimate is $0.6-2.6T).
+	est, err := FromScenario(map[geo.Region]float64{
+		geo.RegionNorthAmerica: 0.9,
+		geo.RegionEurope:       0.85,
+		geo.RegionAsia:         0.6,
+		geo.RegionSouthAmerica: 0.4,
+		geo.RegionAfrica:       0.4,
+		geo.RegionOceania:      0.7,
+	}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Trillions(est.TotalUSD)
+	if tr < 0.5 || tr > 3 {
+		t.Errorf("Carrington-scale estimate = $%.2fT, want in the 0.6-2.6T regime", tr)
+	}
+}
+
+func TestEstimateBreakdownAndRanking(t *testing.T) {
+	est, err := EstimateOutages([]Outage{
+		{Region: geo.RegionAfrica, LossFrac: 1, RestoreDays: 10},
+		{Region: geo.RegionAsia, LossFrac: 1, RestoreDays: 10},
+		{Region: geo.RegionAsia, LossFrac: 0.5, RestoreDays: 4}, // second asian outage accumulates
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ByRegion[geo.RegionAsia] <= est.ByRegion[geo.RegionAfrica] {
+		t.Error("asia should dominate africa")
+	}
+	top := est.TopRegions()
+	if top[0] != geo.RegionAsia {
+		t.Errorf("top region = %v", top[0])
+	}
+	sum := 0.0
+	for _, c := range est.ByRegion {
+		sum += c
+	}
+	if math.Abs(sum-est.TotalUSD) > 1 {
+		t.Error("total does not match breakdown")
+	}
+}
+
+func TestFromScenarioValidation(t *testing.T) {
+	if _, err := FromScenario(nil, -1); err == nil {
+		t.Error("want restoration error")
+	}
+	est, err := FromScenario(nil, 10)
+	if err != nil || est.TotalUSD != 0 {
+		t.Errorf("empty scenario: %v, %v", est, err)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Trillions(2.5e12) != 2.5 || Billions(7.1e9) != 7.1 {
+		t.Error("formatters broken")
+	}
+	if USDailyCostUSD != 7.1e9 {
+		t.Error("paper headline constant changed")
+	}
+}
+
+func TestEstimateOutagesPropagatesErrors(t *testing.T) {
+	if _, err := EstimateOutages([]Outage{{Region: geo.RegionAsia, LossFrac: 2}}); err == nil {
+		t.Error("want validation error")
+	}
+}

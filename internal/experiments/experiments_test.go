@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"gicnet/internal/core"
+	"gicnet/internal/dataset"
+)
+
+func testWorld(t *testing.T) *dataset.World {
+	t.Helper()
+	w, err := dataset.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// quickCfg keeps MC experiments fast in tests.
+func quickCfg() Config { return Config{Trials: 4, Seed: 11} }
+
+func TestFig3(t *testing.T) {
+	r, err := Fig3(testWorld(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.BinCenters) != 90 || len(r.PopPDF) != 90 || len(r.SubPDF) != 90 {
+		t.Fatalf("bin counts: %d/%d/%d", len(r.BinCenters), len(r.PopPDF), len(r.SubPDF))
+	}
+	sumPop, sumSub := 0.0, 0.0
+	for i := range r.PopPDF {
+		sumPop += r.PopPDF[i]
+		sumSub += r.SubPDF[i]
+	}
+	if math.Abs(sumPop-100) > 1e-6 || math.Abs(sumSub-100) > 1e-6 {
+		t.Errorf("PDFs sum to %v / %v", sumPop, sumSub)
+	}
+	// The paper's point: submarine mass sits farther north than population.
+	subAbove40, popAbove40 := 0.0, 0.0
+	for i, lat := range r.BinCenters {
+		if lat > 40 {
+			subAbove40 += r.SubPDF[i]
+			popAbove40 += r.PopPDF[i]
+		}
+	}
+	if subAbove40 <= popAbove40 {
+		t.Errorf("submarine mass above 40N (%v%%) should exceed population (%v%%)", subAbove40, popAbove40)
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Figure 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig4aOrderingAtFortyDegrees(t *testing.T) {
+	r, err := Fig4a(testWorld(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at40 := map[string]float64{}
+	for name, curve := range r.Curves {
+		for i, th := range r.Thresholds {
+			if th == 40 {
+				at40[name] = curve[i]
+			}
+		}
+	}
+	// Paper: submarine 31%, one-hop +14pp, intertubes 40%, population 16%.
+	if !(at40["one-hop"] > at40["submarine"]) {
+		t.Errorf("one-hop (%v) must exceed submarine (%v)", at40["one-hop"], at40["submarine"])
+	}
+	if !(at40["submarine"] > at40["population"]) {
+		t.Errorf("submarine (%v) must exceed population (%v)", at40["submarine"], at40["population"])
+	}
+	if math.Abs(at40["population"]-0.16) > 0.05 {
+		t.Errorf("population above 40 = %v, want ~0.16", at40["population"])
+	}
+	var b strings.Builder
+	if err := r.Render(&b, "4a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4bInfraExceedsPopulation(t *testing.T) {
+	r, err := Fig4b(testWorld(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, th := range r.Thresholds {
+		if th != 40 {
+			continue
+		}
+		pop := r.Curves["population"][i]
+		for _, name := range []string{"routers", "ixps", "dns-roots"} {
+			if r.Curves[name][i] <= pop {
+				t.Errorf("%s above 40 (%v) should exceed population (%v)", name, r.Curves[name][i], pop)
+			}
+		}
+	}
+}
+
+func TestFig5SubmarineLongest(t *testing.T) {
+	r, err := Fig5(testWorld(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: submarine lengths are an order of magnitude above land.
+	if r.Medians["submarine"] < 3*r.Medians["itu"] {
+		t.Errorf("submarine median %v should far exceed ITU median %v",
+			r.Medians["submarine"], r.Medians["itu"])
+	}
+	if r.CDFs["submarine"].Max() < 35000 {
+		t.Errorf("submarine max = %v, want ~39000", r.CDFs["submarine"].Max())
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig67ShapeClaims(t *testing.T) {
+	r, err := Fig67(context.Background(), testWorld(t), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 9 {
+		t.Fatalf("cells = %d, want 9 (3 networks x 3 spacings)", len(r.Cells))
+	}
+	// Submarine >> intertubes >= itu at every probability and spacing.
+	for _, spacing := range []float64{50, 100, 150} {
+		sub := r.Cell("submarine", spacing)
+		tubes := r.Cell("intertubes", spacing)
+		itu := r.Cell("itu", spacing)
+		if sub == nil || tubes == nil || itu == nil {
+			t.Fatal("missing cells")
+		}
+		for i := range sub.Probs {
+			if sub.CableMean[i] < tubes.CableMean[i] {
+				t.Errorf("spacing %v p=%v: submarine %v below intertubes %v",
+					spacing, sub.Probs[i], sub.CableMean[i], tubes.CableMean[i])
+			}
+			if tubes.CableMean[i]+1e-9 < itu.CableMean[i]-2 {
+				t.Errorf("spacing %v p=%v: intertubes %v far below itu %v",
+					spacing, sub.Probs[i], tubes.CableMean[i], itu.CableMean[i])
+			}
+		}
+		// monotone in probability
+		for i := 1; i < len(sub.Probs); i++ {
+			if sub.CableMean[i] < sub.CableMean[i-1]-3 {
+				t.Errorf("submarine sweep not increasing at p=%v", sub.Probs[i])
+			}
+		}
+	}
+	// Fewer repeaters at wider spacing -> lower failure at the same p.
+	s50 := r.Cell("submarine", 50)
+	s150 := r.Cell("submarine", 150)
+	for i := range s50.Probs {
+		if s150.CableMean[i] > s50.CableMean[i]+3 {
+			t.Errorf("p=%v: 150km spacing (%v) should not exceed 50km (%v)",
+				s50.Probs[i], s150.CableMean[i], s50.CableMean[i])
+		}
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Figure 6") || !strings.Contains(b.String(), "Figure 7") {
+		t.Error("render missing figures")
+	}
+}
+
+func TestFig67InTextNumbers(t *testing.T) {
+	// §4.3.2: at p=0.01 and 150 km, the paper reports 14.9% submarine
+	// cables failed / 11.7% nodes unreachable; 1.7%/0.07% for US land;
+	// 0.6%/0.1% for ITU. The synthetic world should land in the same
+	// neighbourhood.
+	cfg := Config{Trials: 10, Seed: dataset.DefaultSeed}
+	r, err := Fig67(context.Background(), testWorld(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := r.Cell("submarine", 150)
+	var pi int = -1
+	for i, p := range cell.Probs {
+		if p == 0.01 {
+			pi = i
+		}
+	}
+	if pi < 0 {
+		t.Fatal("p=0.01 missing from sweep")
+	}
+	if got := cell.CableMean[pi]; math.Abs(got-14.9) > 7 {
+		t.Errorf("submarine cables @1%% = %v%%, paper 14.9%%", got)
+	}
+	if got := cell.NodeMean[pi]; math.Abs(got-11.7) > 7 {
+		t.Errorf("submarine nodes @1%% = %v%%, paper 11.7%%", got)
+	}
+	tubes := r.Cell("intertubes", 150)
+	if got := tubes.CableMean[pi]; got > 6 {
+		t.Errorf("intertubes cables @1%% = %v%%, paper 1.7%%", got)
+	}
+	itu := r.Cell("itu", 150)
+	if got := itu.CableMean[pi]; got > 3 {
+		t.Errorf("itu cables @1%% = %v%%, paper 0.6%%", got)
+	}
+}
+
+func TestFig8Claims(t *testing.T) {
+	r, err := Fig8(context.Background(), testWorld(t), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (2 states x 3 spacings x 2 networks)", len(r.Rows))
+	}
+	for _, spacing := range []float64{50, 100, 150} {
+		s1sub := r.Row("S1", spacing, "submarine")
+		s2sub := r.Row("S2", spacing, "submarine")
+		s1tub := r.Row("S1", spacing, "intertubes")
+		if s1sub == nil || s2sub == nil || s1tub == nil {
+			t.Fatal("missing rows")
+		}
+		// S1 >> S2, submarine >> land (order of magnitude, §4.3.3).
+		if s1sub.CablePct <= s2sub.CablePct {
+			t.Errorf("spacing %v: S1 (%v) should exceed S2 (%v)", spacing, s1sub.CablePct, s2sub.CablePct)
+		}
+		if s1sub.CablePct <= s1tub.CablePct {
+			t.Errorf("spacing %v: submarine (%v) should exceed intertubes (%v)", spacing, s1sub.CablePct, s1tub.CablePct)
+		}
+	}
+	// §4.3.3: ~10% of submarine cables/nodes vulnerable even under S2@150.
+	s2 := r.Row("S2", 150, "submarine")
+	if s2.CablePct < 4 || s2.CablePct > 20 {
+		t.Errorf("S2 submarine cables = %v%%, paper ~10%%", s2.CablePct)
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig9(t *testing.T) {
+	r, err := Fig9(testWorld(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary.ReachAbove40 < 0.4 || r.Summary.ReachAbove40 > 0.7 {
+		t.Errorf("AS reach above 40 = %v", r.Summary.ReachAbove40)
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Figure 9a") || !strings.Contains(b.String(), "Figure 9b") {
+		t.Error("render missing subfigures")
+	}
+}
+
+func TestCountriesAndRender(t *testing.T) {
+	cases := []CountryCase{
+		{Target: "sg", Partners: nil},
+		{Target: "br", Partners: []core.Target{"region:europe"}},
+	}
+	r, err := Countries(context.Background(), testWorld(t), quickCfg(), cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Reports["S1"]) != 2 || len(r.Reports["S2"]) != 2 {
+		t.Fatalf("reports: %d/%d", len(r.Reports["S1"]), len(r.Reports["S2"]))
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "S1") || !strings.Contains(out, "sg") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+func TestDefaultCountryCasesResolve(t *testing.T) {
+	r, err := Countries(context.Background(), testWorld(t), Config{Trials: 1, Seed: 1}, DefaultCountryCases())
+	if err != nil {
+		t.Fatalf("default country cases must all resolve: %v", err)
+	}
+	if len(r.Reports["S1"]) != len(DefaultCountryCases()) {
+		t.Error("missing reports")
+	}
+}
+
+func TestSystems(t *testing.T) {
+	r, err := Systems(testWorld(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Infra == nil || r.ASes == nil {
+		t.Fatal("incomplete systems result")
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dns-roots", "google-dcs", "facebook-dcs", "AS exposure"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("systems render missing %q", want)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Trials != 10 {
+		t.Errorf("trials = %d, want the paper's 10", cfg.Trials)
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestExtTraffic(t *testing.T) {
+	r, err := ExtTraffic(testWorld(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CablesKilled == 0 {
+		t.Fatal("no NY cables killed")
+	}
+	if r.StrandedFrac < 0 || r.StrandedFrac > 0.5 {
+		t.Errorf("stranded = %v; NY failure should not strand most demand", r.StrandedFrac)
+	}
+	if len(r.TopShifts) == 0 {
+		t.Error("no load shifts recorded")
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "traffic shift") {
+		t.Error("render missing title")
+	}
+}
+
+func TestExtRecovery(t *testing.T) {
+	r, err := ExtRecovery(testWorld(t), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults == 0 {
+		t.Fatal("S1 produced no faults")
+	}
+	// Paper's warning: months of outage.
+	if r.RestoredAt[0.9] < 30 {
+		t.Errorf("90%% restoration in %v days; expected months", r.RestoredAt[0.9])
+	}
+	// Fleet sweep monotone.
+	if !(r.FleetSweep[40] <= r.FleetSweep[20] && r.FleetSweep[20] <= r.FleetSweep[5]) {
+		t.Errorf("fleet sweep not monotone: %v", r.FleetSweep)
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtResilience(t *testing.T) {
+	r, err := ExtResilience(testWorld(t), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Results) != 2 {
+		t.Fatalf("results = %d", len(r.Results))
+	}
+	if r.Results[0].Placement != "google" {
+		t.Errorf("best placement = %q, want google", r.Results[0].Placement)
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtGrid(t *testing.T) {
+	r, err := ExtGrid(testWorld(t), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Amp.Factor() < 1 {
+		t.Errorf("amplification = %v, want >= 1", r.Amp.Factor())
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtSolar(t *testing.T) {
+	r, err := ExtSolar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decades[2040] <= r.Decades[2010] {
+		t.Errorf("2040 risk %v should exceed 2010 %v", r.Decades[2040], r.Decades[2010])
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "baseline estimates") {
+		t.Error("render missing baseline line")
+	}
+}
+
+func TestExtBanding(t *testing.T) {
+	r, err := ExtBanding(context.Background(), testWorld(t), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PathCablePct < r.EndpointCablePct {
+		t.Errorf("path banding (%v%%) must be at least endpoint banding (%v%%)",
+			r.PathCablePct, r.EndpointCablePct)
+	}
+	if r.ReclassifiedCables == 0 {
+		t.Error("transatlantic arcs should reclassify some cables upward")
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "banding") {
+		t.Error("render missing title")
+	}
+}
+
+func TestExtScenario(t *testing.T) {
+	r, err := ExtScenario(testWorld(t), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CablesDead == 0 {
+		t.Error("scenario killed nothing")
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package failure
+
+import (
+	"fmt"
+
+	"gicnet/internal/topology"
+)
+
+// Scaled multiplies a model's per-repeater probabilities by a factor
+// (clamped to [0,1]) — the knob for "same storm, harder/softer repeaters"
+// sensitivity sweeps.
+type Scaled struct {
+	Base   Model
+	Factor float64
+}
+
+// Name implements Model.
+func (s Scaled) Name() string { return fmt.Sprintf("%s*%.2f", s.Base.Name(), s.Factor) }
+
+// RepeaterProb implements Model.
+func (s Scaled) RepeaterProb(net *topology.Network, ci int) float64 {
+	p := s.Base.RepeaterProb(net, ci) * s.Factor
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Overlay combines two independent failure sources: a repeater survives
+// only if it survives both (p = 1-(1-a)(1-b)). Use to overlay mundane
+// background failures (anchors, fishing) on a storm model.
+type Overlay struct {
+	A, B Model
+}
+
+// Name implements Model.
+func (o Overlay) Name() string { return fmt.Sprintf("%s+%s", o.A.Name(), o.B.Name()) }
+
+// RepeaterProb implements Model.
+func (o Overlay) RepeaterProb(net *topology.Network, ci int) float64 {
+	a := o.A.RepeaterProb(net, ci)
+	b := o.B.RepeaterProb(net, ci)
+	return 1 - (1-a)*(1-b)
+}
+
+// Worst takes the pointwise maximum of two models — a conservative upper
+// envelope across model uncertainty (the paper's motivation for running a
+// *family* of models).
+type Worst struct {
+	A, B Model
+}
+
+// Name implements Model.
+func (w Worst) Name() string { return fmt.Sprintf("max(%s,%s)", w.A.Name(), w.B.Name()) }
+
+// RepeaterProb implements Model.
+func (w Worst) RepeaterProb(net *topology.Network, ci int) float64 {
+	a := w.A.RepeaterProb(net, ci)
+	b := w.B.RepeaterProb(net, ci)
+	if a > b {
+		return a
+	}
+	return b
+}

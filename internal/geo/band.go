@@ -1,0 +1,91 @@
+package geo
+
+import "fmt"
+
+// Band is a latitude risk band. The paper stratifies GIC risk by absolute
+// latitude with cut points at 40 and 60 degrees (§3.1, §4.3.3).
+type Band int
+
+// Latitude risk bands, from safest to most exposed.
+const (
+	// BandLow covers |lat| < 40, where induced fields during even a
+	// Carrington-scale event are an order of magnitude weaker.
+	BandLow Band = iota
+	// BandMid covers 40 <= |lat| < 60.
+	BandMid
+	// BandHigh covers |lat| >= 60, the auroral zone.
+	BandHigh
+)
+
+// Cut points between bands, in degrees of absolute latitude.
+const (
+	MidBandCut  = 40.0
+	HighBandCut = 60.0
+)
+
+// BandOf returns the risk band for an absolute latitude.
+func BandOf(absLat float64) Band {
+	switch {
+	case absLat >= HighBandCut:
+		return BandHigh
+	case absLat >= MidBandCut:
+		return BandMid
+	default:
+		return BandLow
+	}
+}
+
+// BandOfCoord returns the risk band of a coordinate.
+func BandOfCoord(c Coord) Band { return BandOf(c.AbsLat()) }
+
+// String names the band.
+func (b Band) String() string {
+	switch b {
+	case BandLow:
+		return "low(<40)"
+	case BandMid:
+		return "mid(40-60)"
+	case BandHigh:
+		return "high(>60)"
+	default:
+		return fmt.Sprintf("Band(%d)", int(b))
+	}
+}
+
+// NumBands is the number of latitude risk bands.
+const NumBands = 3
+
+// FractionAbove returns the fraction of coords with |lat| strictly above
+// the threshold. It is the primitive behind the paper's Figure 4 curves.
+func FractionAbove(coords []Coord, threshold float64) float64 {
+	if len(coords) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range coords {
+		if c.AbsLat() > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(coords))
+}
+
+// ThresholdCurve evaluates FractionAbove at each threshold, returning a
+// series aligned with thresholds. Used to regenerate Figure 4 and 9a.
+func ThresholdCurve(coords []Coord, thresholds []float64) []float64 {
+	out := make([]float64, len(thresholds))
+	for i, t := range thresholds {
+		out[i] = FractionAbove(coords, t)
+	}
+	return out
+}
+
+// DefaultThresholds are the x-axis values used by the paper's Figure 4
+// and Figure 9a: 0,10,...,90 degrees.
+func DefaultThresholds() []float64 {
+	t := make([]float64, 10)
+	for i := range t {
+		t[i] = float64(i * 10)
+	}
+	return t
+}

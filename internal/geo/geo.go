@@ -1,0 +1,162 @@
+// Package geo provides the geodesic substrate used by every topology and
+// failure analysis in this repository: geographic coordinates, great-circle
+// distance and interpolation, latitude banding, and coarse region tagging.
+//
+// All distances are in kilometres and all angles in degrees unless a name
+// says otherwise. The Earth is modelled as a sphere of radius EarthRadiusKm,
+// which is the convention used by the paper's datasets (cable lengths are
+// route lengths, not geodesics, so sub-percent spheroid error is irrelevant).
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// EarthRadiusKm is the mean Earth radius used for all great-circle math.
+const EarthRadiusKm = 6371.0088
+
+// Coord is a geographic coordinate in decimal degrees.
+// Latitude is positive north, longitude positive east.
+type Coord struct {
+	Lat float64
+	Lon float64
+}
+
+// ErrInvalidCoord reports a coordinate outside the valid range.
+var ErrInvalidCoord = errors.New("geo: coordinate out of range")
+
+// NewCoord validates and returns a coordinate.
+func NewCoord(lat, lon float64) (Coord, error) {
+	c := Coord{Lat: lat, Lon: lon}
+	if err := c.Validate(); err != nil {
+		return Coord{}, err
+	}
+	return c, nil
+}
+
+// Validate reports whether the coordinate lies in [-90,90] x [-180,180].
+func (c Coord) Validate() error {
+	if math.IsNaN(c.Lat) || math.IsNaN(c.Lon) ||
+		c.Lat < -90 || c.Lat > 90 || c.Lon < -180 || c.Lon > 180 {
+		return fmt.Errorf("%w: (%v, %v)", ErrInvalidCoord, c.Lat, c.Lon)
+	}
+	return nil
+}
+
+// String renders the coordinate as "lat,lon" with 4 decimal places.
+func (c Coord) String() string {
+	return fmt.Sprintf("%.4f,%.4f", c.Lat, c.Lon)
+}
+
+// AbsLat returns the absolute latitude, the quantity GIC risk depends on.
+func (c Coord) AbsLat() float64 { return math.Abs(c.Lat) }
+
+func radians(deg float64) float64 { return deg * math.Pi / 180 }
+func degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Haversine returns the great-circle distance between a and b in km.
+func Haversine(a, b Coord) float64 {
+	lat1, lon1 := radians(a.Lat), radians(a.Lon)
+	lat2, lon2 := radians(b.Lat), radians(b.Lon)
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	// Clamp to guard against floating-point drift pushing s past 1.
+	if s > 1 {
+		s = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(s))
+}
+
+// InitialBearing returns the initial great-circle bearing from a to b,
+// in degrees clockwise from north, normalised to [0, 360).
+func InitialBearing(a, b Coord) float64 {
+	lat1, lat2 := radians(a.Lat), radians(b.Lat)
+	dLon := radians(b.Lon - a.Lon)
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	brng := degrees(math.Atan2(y, x))
+	return math.Mod(brng+360, 360)
+}
+
+// Destination returns the point reached by travelling distKm from start
+// along the given initial bearing (degrees clockwise from north).
+func Destination(start Coord, bearingDeg, distKm float64) Coord {
+	lat1 := radians(start.Lat)
+	lon1 := radians(start.Lon)
+	brng := radians(bearingDeg)
+	d := distKm / EarthRadiusKm
+	lat2 := math.Asin(math.Sin(lat1)*math.Cos(d) + math.Cos(lat1)*math.Sin(d)*math.Cos(brng))
+	lon2 := lon1 + math.Atan2(
+		math.Sin(brng)*math.Sin(d)*math.Cos(lat1),
+		math.Cos(d)-math.Sin(lat1)*math.Sin(lat2),
+	)
+	lon := math.Mod(degrees(lon2)+540, 360) - 180
+	return Coord{Lat: degrees(lat2), Lon: lon}
+}
+
+// Midpoint returns the great-circle midpoint of a and b.
+func Midpoint(a, b Coord) Coord {
+	return Interpolate(a, b, 0.5)
+}
+
+// Interpolate returns the point a fraction f in [0,1] along the great
+// circle from a to b. f=0 returns a, f=1 returns b. Antipodal inputs,
+// where the great circle is ill-defined, fall back to linear lat/lon
+// interpolation (no dataset in this repo contains antipodal endpoints).
+func Interpolate(a, b Coord, f float64) Coord {
+	lat1, lon1 := radians(a.Lat), radians(a.Lon)
+	lat2, lon2 := radians(b.Lat), radians(b.Lon)
+	d := Haversine(a, b) / EarthRadiusKm
+	if d == 0 {
+		return a
+	}
+	sinD := math.Sin(d)
+	if sinD == 0 {
+		return Coord{
+			Lat: a.Lat + f*(b.Lat-a.Lat),
+			Lon: a.Lon + f*(b.Lon-a.Lon),
+		}
+	}
+	p := math.Sin((1-f)*d) / sinD
+	q := math.Sin(f*d) / sinD
+	x := p*math.Cos(lat1)*math.Cos(lon1) + q*math.Cos(lat2)*math.Cos(lon2)
+	y := p*math.Cos(lat1)*math.Sin(lon1) + q*math.Cos(lat2)*math.Sin(lon2)
+	z := p*math.Sin(lat1) + q*math.Sin(lat2)
+	lat := math.Atan2(z, math.Sqrt(x*x+y*y))
+	lon := math.Atan2(y, x)
+	return Coord{Lat: degrees(lat), Lon: degrees(lon)}
+}
+
+// SamplePath returns n+1 points evenly spaced along the great circle from a
+// to b, including both endpoints. n must be >= 1.
+func SamplePath(a, b Coord, n int) []Coord {
+	if n < 1 {
+		n = 1
+	}
+	pts := make([]Coord, 0, n+1)
+	for i := 0; i <= n; i++ {
+		pts = append(pts, Interpolate(a, b, float64(i)/float64(n)))
+	}
+	return pts
+}
+
+// PathMaxAbsLat returns the maximum absolute latitude reached along the
+// great circle between a and b, sampled at ~100 km resolution. Cables
+// between two mid-latitude endpoints can arc substantially poleward; GIC
+// exposure follows the path, not just the endpoints.
+func PathMaxAbsLat(a, b Coord) float64 {
+	d := Haversine(a, b)
+	n := int(d/100) + 1
+	maxAbs := math.Max(a.AbsLat(), b.AbsLat())
+	for i := 1; i < n; i++ {
+		p := Interpolate(a, b, float64(i)/float64(n))
+		if p.AbsLat() > maxAbs {
+			maxAbs = p.AbsLat()
+		}
+	}
+	return maxAbs
+}

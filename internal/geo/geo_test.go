@@ -1,0 +1,379 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// known city coordinates used across the tests.
+var (
+	london   = Coord{Lat: 51.5074, Lon: -0.1278}
+	newYork  = Coord{Lat: 40.7128, Lon: -74.0060}
+	singapre = Coord{Lat: 1.3521, Lon: 103.8198}
+	sydney   = Coord{Lat: -33.8688, Lon: 151.2093}
+	quito    = Coord{Lat: -0.1807, Lon: -78.4678}
+)
+
+func TestNewCoordValid(t *testing.T) {
+	tests := []struct {
+		name     string
+		lat, lon float64
+		wantErr  bool
+	}{
+		{"origin", 0, 0, false},
+		{"north pole", 90, 0, false},
+		{"south pole", -90, 0, false},
+		{"date line east", 10, 180, false},
+		{"date line west", 10, -180, false},
+		{"lat too high", 90.0001, 0, true},
+		{"lat too low", -91, 0, true},
+		{"lon too high", 0, 180.5, true},
+		{"lon too low", 0, -181, true},
+		{"nan lat", math.NaN(), 0, true},
+		{"nan lon", 0, math.NaN(), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewCoord(tt.lat, tt.lon)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewCoord(%v,%v) err = %v, wantErr %v", tt.lat, tt.lon, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Coord
+		want float64 // km
+		tol  float64
+	}{
+		{"london-newyork", london, newYork, 5570, 20},
+		{"singapore-sydney", singapre, sydney, 6300, 40},
+		{"same point", london, london, 0, 1e-9},
+		{"equator quarter", Coord{0, 0}, Coord{0, 90}, 2 * math.Pi * EarthRadiusKm / 4, 1},
+		{"pole to pole", Coord{90, 0}, Coord{-90, 0}, math.Pi * EarthRadiusKm, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Haversine(tt.a, tt.b)
+			if math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("Haversine = %v, want %v +- %v", got, tt.want, tt.tol)
+			}
+		})
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Coord{clampLat(lat1), clampLon(lon1)}
+		b := Coord{clampLat(lat2), clampLon(lon2)}
+		d1, d2 := Haversine(a, b), Haversine(b, a)
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaversineTriangleInequality(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2, lat3, lon3 float64) bool {
+		a := Coord{clampLat(lat1), clampLon(lon1)}
+		b := Coord{clampLat(lat2), clampLon(lon2)}
+		c := Coord{clampLat(lat3), clampLon(lon3)}
+		return Haversine(a, c) <= Haversine(a, b)+Haversine(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaversineNonNegativeAndBounded(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Coord{clampLat(lat1), clampLon(lon1)}
+		b := Coord{clampLat(lat2), clampLon(lon2)}
+		d := Haversine(a, b)
+		return d >= 0 && d <= math.Pi*EarthRadiusKm+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampLat(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(math.Abs(v), 180) - 90
+}
+
+func clampLon(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(math.Abs(v), 360) - 180
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	// Travelling d km at bearing b then measuring the distance back should
+	// recover d for any moderate distance.
+	f := func(latSeed, lonSeed, bearingSeed, distSeed float64) bool {
+		start := Coord{clampLat(latSeed) * 0.8, clampLon(lonSeed)} // keep away from poles
+		bearing := math.Mod(math.Abs(bearingSeed), 360)
+		dist := math.Mod(math.Abs(distSeed), 5000)
+		if math.IsNaN(bearing) || math.IsNaN(dist) {
+			return true
+		}
+		end := Destination(start, bearing, dist)
+		got := Haversine(start, end)
+		return math.Abs(got-dist) < 1.0 // within 1 km
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInitialBearingCardinal(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Coord
+		want float64
+		tol  float64
+	}{
+		{"due north", Coord{0, 0}, Coord{10, 0}, 0, 1e-6},
+		{"due south", Coord{10, 0}, Coord{0, 0}, 180, 1e-6},
+		{"due east on equator", Coord{0, 0}, Coord{0, 10}, 90, 1e-6},
+		{"due west on equator", Coord{0, 10}, Coord{0, 0}, 270, 1e-6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := InitialBearing(tt.a, tt.b)
+			if math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("InitialBearing = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestInterpolateEndpoints(t *testing.T) {
+	a, b := london, sydney
+	p0 := Interpolate(a, b, 0)
+	p1 := Interpolate(a, b, 1)
+	if Haversine(p0, a) > 1e-6 {
+		t.Errorf("Interpolate(...,0) = %v, want %v", p0, a)
+	}
+	if Haversine(p1, b) > 1e-6 {
+		t.Errorf("Interpolate(...,1) = %v, want %v", p1, b)
+	}
+}
+
+func TestInterpolateMidpointEquidistant(t *testing.T) {
+	pairs := [][2]Coord{{london, newYork}, {singapre, sydney}, {quito, london}}
+	for _, p := range pairs {
+		mid := Midpoint(p[0], p[1])
+		d1, d2 := Haversine(p[0], mid), Haversine(mid, p[1])
+		if math.Abs(d1-d2) > 1 {
+			t.Errorf("midpoint of %v-%v not equidistant: %v vs %v", p[0], p[1], d1, d2)
+		}
+	}
+}
+
+func TestInterpolateAdditive(t *testing.T) {
+	// Distances along the path should be proportional to f.
+	a, b := newYork, london
+	total := Haversine(a, b)
+	for _, f := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		p := Interpolate(a, b, f)
+		d := Haversine(a, p)
+		if math.Abs(d-f*total) > 1 {
+			t.Errorf("f=%v: distance %v, want %v", f, d, f*total)
+		}
+	}
+}
+
+func TestSamplePath(t *testing.T) {
+	pts := SamplePath(london, newYork, 10)
+	if len(pts) != 11 {
+		t.Fatalf("len = %d, want 11", len(pts))
+	}
+	if Haversine(pts[0], london) > 1e-9 || Haversine(pts[10], newYork) > 1e-9 {
+		t.Error("endpoints not preserved")
+	}
+	// successive points should be monotonically farther from the start
+	prev := -1.0
+	for _, p := range pts {
+		d := Haversine(london, p)
+		if d < prev-1e-6 {
+			t.Errorf("path distances not monotone: %v after %v", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestSamplePathDegenerateN(t *testing.T) {
+	pts := SamplePath(london, newYork, 0)
+	if len(pts) != 2 {
+		t.Fatalf("len = %d, want 2 for n<=1", len(pts))
+	}
+}
+
+func TestPathMaxAbsLatArcsPoleward(t *testing.T) {
+	// The great circle between Seattle-ish and London arcs far north of
+	// both endpoints; PathMaxAbsLat must exceed both endpoint latitudes.
+	seattle := Coord{47.6, -122.3}
+	m := PathMaxAbsLat(seattle, london)
+	if m <= seattle.AbsLat() || m <= london.AbsLat() {
+		t.Errorf("PathMaxAbsLat = %v, want above both endpoints (%v, %v)",
+			m, seattle.AbsLat(), london.AbsLat())
+	}
+	if m < 60 {
+		t.Errorf("Seattle-London arc should exceed 60N, got %v", m)
+	}
+}
+
+func TestPathMaxAbsLatEquatorial(t *testing.T) {
+	// Two equatorial points: path stays near the equator.
+	m := PathMaxAbsLat(Coord{0, 0}, Coord{0, 20})
+	if m > 0.01 {
+		t.Errorf("equatorial path max |lat| = %v, want ~0", m)
+	}
+}
+
+func TestBandOf(t *testing.T) {
+	tests := []struct {
+		absLat float64
+		want   Band
+	}{
+		{0, BandLow}, {39.999, BandLow}, {40, BandMid},
+		{59.999, BandMid}, {60, BandHigh}, {90, BandHigh},
+	}
+	for _, tt := range tests {
+		if got := BandOf(tt.absLat); got != tt.want {
+			t.Errorf("BandOf(%v) = %v, want %v", tt.absLat, got, tt.want)
+		}
+	}
+}
+
+func TestBandOfCoordUsesAbsoluteLatitude(t *testing.T) {
+	if BandOfCoord(Coord{-65, 0}) != BandHigh {
+		t.Error("southern high latitude should be BandHigh")
+	}
+	if BandOfCoord(Coord{-45, 0}) != BandMid {
+		t.Error("southern mid latitude should be BandMid")
+	}
+}
+
+func TestBandString(t *testing.T) {
+	for _, b := range []Band{BandLow, BandMid, BandHigh} {
+		if b.String() == "" {
+			t.Errorf("empty string for band %d", int(b))
+		}
+	}
+	if Band(99).String() != "Band(99)" {
+		t.Errorf("unexpected fallback: %s", Band(99))
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	coords := []Coord{{10, 0}, {-45, 0}, {50, 0}, {65, 0}, {-70, 0}}
+	tests := []struct {
+		threshold float64
+		want      float64
+	}{
+		{0, 1.0}, {40, 0.8}, {60, 0.4}, {90, 0},
+	}
+	for _, tt := range tests {
+		if got := FractionAbove(coords, tt.threshold); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("FractionAbove(%v) = %v, want %v", tt.threshold, got, tt.want)
+		}
+	}
+}
+
+func TestFractionAboveEmpty(t *testing.T) {
+	if got := FractionAbove(nil, 10); got != 0 {
+		t.Errorf("FractionAbove(nil) = %v, want 0", got)
+	}
+}
+
+func TestThresholdCurveMonotoneNonIncreasing(t *testing.T) {
+	coords := []Coord{{10, 0}, {-45, 0}, {50, 0}, {65, 0}, {-70, 0}, {5, 3}, {88, 2}}
+	curve := ThresholdCurve(coords, DefaultThresholds())
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1] {
+			t.Errorf("curve not non-increasing at %d: %v > %v", i, curve[i], curve[i-1])
+		}
+	}
+}
+
+func TestDefaultThresholds(t *testing.T) {
+	th := DefaultThresholds()
+	if len(th) != 10 || th[0] != 0 || th[9] != 90 {
+		t.Errorf("unexpected thresholds: %v", th)
+	}
+}
+
+func TestRegionOfKnownCities(t *testing.T) {
+	tests := []struct {
+		name string
+		c    Coord
+		want Region
+	}{
+		{"new york", newYork, RegionNorthAmerica},
+		{"london", london, RegionEurope},
+		{"singapore", singapre, RegionAsia},
+		{"sydney", sydney, RegionOceania},
+		{"quito", quito, RegionSouthAmerica},
+		{"lagos", Coord{6.5244, 3.3792}, RegionAfrica},
+		{"tokyo", Coord{35.6762, 139.6503}, RegionAsia},
+		{"reykjavik", Coord{64.1466, -21.9426}, RegionEurope},
+		{"honolulu", Coord{21.3069, -157.8583}, RegionOceania},
+		{"mumbai", Coord{19.076, 72.8777}, RegionAsia},
+		{"cape town", Coord{-33.9249, 18.4241}, RegionAfrica},
+		{"anchorage", Coord{61.2181, -149.9003}, RegionNorthAmerica},
+		{"mcmurdo", Coord{-77.85, 166.67}, RegionAntarctica},
+		{"mid pacific", Coord{-45, -140}, RegionOcean},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := RegionOf(tt.c); got != tt.want {
+				t.Errorf("RegionOf(%v) = %v, want %v", tt.c, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRegionsList(t *testing.T) {
+	rs := Regions()
+	if len(rs) != 7 {
+		t.Errorf("Regions() len = %d, want 7", len(rs))
+	}
+	seen := map[Region]bool{}
+	for _, r := range rs {
+		if seen[r] {
+			t.Errorf("duplicate region %v", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	got := Coord{1.23456, -7.654321}.String()
+	want := "1.2346,-7.6543"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func BenchmarkHaversine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Haversine(london, sydney)
+	}
+}
+
+func BenchmarkPathMaxAbsLat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		PathMaxAbsLat(newYork, london)
+	}
+}

@@ -1,0 +1,66 @@
+package geo
+
+// Region is a coarse continental region used for reporting. Assignment is
+// by bounding boxes over lat/lon, which is sufficient for the coastal hub
+// anchors the synthetic world is seeded from.
+type Region string
+
+// Continental regions.
+const (
+	RegionNorthAmerica Region = "north-america"
+	RegionSouthAmerica Region = "south-america"
+	RegionEurope       Region = "europe"
+	RegionAfrica       Region = "africa"
+	RegionAsia         Region = "asia"
+	RegionOceania      Region = "oceania"
+	RegionAntarctica   Region = "antarctica"
+	RegionOcean        Region = "ocean"
+)
+
+// box is an inclusive lat/lon bounding box.
+type box struct {
+	minLat, maxLat float64
+	minLon, maxLon float64
+	region         Region
+}
+
+// regionBoxes are evaluated in order; the first containing box wins.
+// Boxes are deliberately coarse: they classify the land-adjacent anchor
+// points used by the dataset generators, not arbitrary ocean points.
+var regionBoxes = []box{
+	{59, 90, -75, -10, RegionEurope},       // Iceland, Scandinavia above 59N
+	{35, 72, -11, 45, RegionEurope},        // core Europe
+	{45, 72, 45, 180, RegionAsia},          // northern Asia / Russia east of Urals
+	{12, 45, 26, 180, RegionAsia},          // core Asia, Middle East east of 26E
+	{-11, 12, 92, 142, RegionAsia},         // maritime SE Asia
+	{-30, 30, -180, -120, RegionOceania},   // Pacific islands incl. Hawaii
+	{7, 84, -170, -50, RegionNorthAmerica}, // North America incl. Alaska
+	{50, 72, -180, -168, RegionNorthAmerica},
+	{-56, 7, -95, -32, RegionSouthAmerica},
+	{-40, 35, -26, 26, RegionAfrica},    // Africa west of 26E
+	{-35, 12, 26, 52, RegionAfrica},     // east Africa
+	{-12, 13, 40, 55, RegionAfrica},     // Horn of Africa
+	{-50, -10, 110, 180, RegionOceania}, // Australia, NZ
+	{-25, 0, 142, 180, RegionOceania},   // Melanesia
+	{-90, -60, -180, 180, RegionAntarctica},
+}
+
+// RegionOf classifies a coordinate into a coarse continental region.
+// Points matching no box are RegionOcean.
+func RegionOf(c Coord) Region {
+	for _, b := range regionBoxes {
+		if c.Lat >= b.minLat && c.Lat <= b.maxLat &&
+			c.Lon >= b.minLon && c.Lon <= b.maxLon {
+			return b.region
+		}
+	}
+	return RegionOcean
+}
+
+// Regions lists all continental regions in report order.
+func Regions() []Region {
+	return []Region{
+		RegionNorthAmerica, RegionSouthAmerica, RegionEurope,
+		RegionAfrica, RegionAsia, RegionOceania, RegionAntarctica,
+	}
+}

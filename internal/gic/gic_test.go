@@ -1,0 +1,279 @@
+package gic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gicnet/internal/geo"
+)
+
+func TestFieldAtMonotoneInLatitude(t *testing.T) {
+	for _, s := range Scenarios() {
+		prev := -1.0
+		for lat := 0.0; lat <= 90; lat += 0.5 {
+			e := s.FieldAt(lat)
+			if e < prev-1e-12 {
+				t.Fatalf("%s: field not non-decreasing at %v", s.Name, lat)
+			}
+			prev = e
+		}
+	}
+}
+
+func TestFieldAtAuroralPeak(t *testing.T) {
+	for _, s := range Scenarios() {
+		if got := s.FieldAt(75); math.Abs(got-s.PeakFieldVPerKm) > 1e-9 {
+			t.Errorf("%s: field at 75 = %v, want peak %v", s.Name, got, s.PeakFieldVPerKm)
+		}
+	}
+}
+
+func TestFieldAtDecadeDropAtReach(t *testing.T) {
+	// At the equatorward reach latitude, the field is one order of
+	// magnitude below peak — the paper's cited behaviour for the 1989
+	// event (reach 40).
+	e := Quebec.FieldAt(Quebec.EquatorwardReachDeg)
+	want := Quebec.PeakFieldVPerKm / 10
+	if math.Abs(e-want) > 1e-9 {
+		t.Errorf("field at reach = %v, want %v", e, want)
+	}
+}
+
+func TestFieldAtEquatorialFloor(t *testing.T) {
+	for _, s := range Scenarios() {
+		e := s.FieldAt(0)
+		if e <= 0 {
+			t.Errorf("%s: zero equatorial field; paper cites small nonzero equatorial GIC", s.Name)
+		}
+		if e >= s.FieldAt(s.EquatorwardReachDeg) {
+			t.Errorf("%s: equatorial field %v not below field at reach", s.Name, e)
+		}
+		// The decay is clamped at three decades below peak.
+		if e < s.PeakFieldVPerKm*1e-3-1e-12 {
+			t.Errorf("%s: equatorial field %v below the 3-decade floor", s.Name, e)
+		}
+	}
+}
+
+func TestFieldAtNegativeLatitudeSymmetric(t *testing.T) {
+	f := func(latSeed float64) bool {
+		if math.IsNaN(latSeed) || math.IsInf(latSeed, 0) {
+			return true
+		}
+		lat := math.Mod(math.Abs(latSeed), 90)
+		return Carrington.FieldAt(lat) == Carrington.FieldAt(-lat)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStormOrdering(t *testing.T) {
+	// Stronger storms produce stronger fields at every latitude.
+	sc := Scenarios()
+	for lat := 0.0; lat <= 90; lat += 10 {
+		for i := 1; i < len(sc); i++ {
+			if sc[i].FieldAt(lat) > sc[i-1].FieldAt(lat)+1e-9 {
+				t.Errorf("at %v: %s field exceeds %s", lat, sc[i].Name, sc[i-1].Name)
+			}
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Quebec.Scaled(2)
+	if s.PeakFieldVPerKm != 2*Quebec.PeakFieldVPerKm {
+		t.Errorf("scaled peak = %v", s.PeakFieldVPerKm)
+	}
+	if s.Name == Quebec.Name {
+		t.Error("scaled storm should carry an annotated name")
+	}
+	if s.EquatorwardReachDeg != Quebec.EquatorwardReachDeg {
+		t.Error("scaling must not move the reach")
+	}
+}
+
+func TestInducedCurrentCarringtonMagnitude(t *testing.T) {
+	// The paper cites GIC "as high as 100-130 A" during strong events.
+	// Our Carrington scenario at auroral latitude over a submarine feed
+	// should land in or above that range (ocean factor raises it).
+	c := DefaultSubmarineConductor()
+	cur, err := InducedCurrent(Carrington, c, 70, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur < 100 || cur > 250 {
+		t.Errorf("Carrington auroral current = %v A, want order 100-130+", cur)
+	}
+}
+
+func TestInducedCurrentOperatingRegimeModerate(t *testing.T) {
+	// A moderate storm at low latitude must stay near the ~1 A operating
+	// regime so it cannot damage repeaters.
+	c := DefaultSubmarineConductor()
+	cur, err := InducedCurrent(Moderate, c, 10, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur > 1.1 {
+		t.Errorf("moderate low-latitude current = %v A, want <= operating", cur)
+	}
+}
+
+func TestInducedCurrentSpanDerating(t *testing.T) {
+	c := DefaultSubmarineConductor()
+	long, _ := InducedCurrent(Carrington, c, 70, c.GroundSpacingKm*3)
+	short, _ := InducedCurrent(Carrington, c, 70, c.GroundSpacingKm/2)
+	if short >= long {
+		t.Errorf("short span current %v >= long span %v", short, long)
+	}
+	if math.Abs(short-long/2) > 1e-9 {
+		t.Errorf("half-spacing span should halve current: %v vs %v", short, long)
+	}
+}
+
+func TestInducedCurrentSaturatesWithLength(t *testing.T) {
+	c := DefaultSubmarineConductor()
+	a, _ := InducedCurrent(Carrington, c, 70, c.GroundSpacingKm)
+	b, _ := InducedCurrent(Carrington, c, 70, c.GroundSpacingKm*10)
+	if a != b {
+		t.Errorf("current should saturate at ground spacing: %v vs %v", a, b)
+	}
+}
+
+func TestInducedCurrentErrorsAndZeroSpan(t *testing.T) {
+	if _, err := InducedCurrent(Carrington, Conductor{}, 70, 100); err == nil {
+		t.Error("zero resistance should error")
+	}
+	c := DefaultSubmarineConductor()
+	cur, err := InducedCurrent(Carrington, c, 70, 0)
+	if err != nil || cur != 0 {
+		t.Errorf("zero span: %v, %v", cur, err)
+	}
+}
+
+func TestInducedCurrentOceanFactor(t *testing.T) {
+	land := DefaultLandConductor()
+	sea := DefaultSubmarineConductor()
+	sea.GroundSpacingKm = land.GroundSpacingKm
+	lcur, _ := InducedCurrent(Carrington, land, 70, 500)
+	scur, _ := InducedCurrent(Carrington, sea, 70, 500)
+	if scur <= lcur {
+		t.Errorf("ocean must amplify GIC (%v vs %v): seawater raises conductance", scur, lcur)
+	}
+}
+
+func TestFailureProbabilityDoseResponse(t *testing.T) {
+	rt := DefaultRepeaterTolerance()
+	if p := rt.FailureProbability(rt.OperatingAmps); p != 0 {
+		t.Errorf("operating current must be safe, got %v", p)
+	}
+	if p := rt.FailureProbability(0.5); p != 0 {
+		t.Errorf("sub-operating current must be safe, got %v", p)
+	}
+	if p := rt.FailureProbability(rt.DamageAmps); math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("P(fail) at damage threshold = %v, want 0.5", p)
+	}
+	if p := rt.FailureProbability(1000); p < 0.99 {
+		t.Errorf("P(fail) at 1000 A = %v, want ~1", p)
+	}
+	// monotone
+	prev := -1.0
+	for cur := 1.2; cur < 500; cur *= 1.3 {
+		p := rt.FailureProbability(cur)
+		if p < prev {
+			t.Fatalf("dose response not monotone at %v A", cur)
+		}
+		prev = p
+	}
+}
+
+func TestFailureProbabilityDegenerateTolerance(t *testing.T) {
+	rt := RepeaterTolerance{OperatingAmps: 1}
+	if p := rt.FailureProbability(2); p != 1 {
+		t.Errorf("degenerate tolerance should fail hard, got %v", p)
+	}
+}
+
+func TestBandProbabilitiesCalibration(t *testing.T) {
+	c := DefaultSubmarineConductor()
+	rt := DefaultRepeaterTolerance()
+
+	carr, err := BandProbabilities(Carrington, c, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S1-like: high band ~1, low band small, strictly ordered.
+	if carr[geo.BandHigh] < 0.9 {
+		t.Errorf("Carrington high band = %v, want >= 0.9", carr[geo.BandHigh])
+	}
+	if carr[geo.BandLow] > 0.15 {
+		t.Errorf("Carrington low band = %v, want <= 0.15", carr[geo.BandLow])
+	}
+	if !(carr[geo.BandLow] < carr[geo.BandMid] && carr[geo.BandMid] < carr[geo.BandHigh]) {
+		t.Errorf("Carrington bands not ordered: %v", carr)
+	}
+
+	que, err := BandProbabilities(Quebec, c, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S2-like: high band well below Carrington's, low band ~0.
+	if que[geo.BandHigh] <= 0 || que[geo.BandHigh] > 0.3 {
+		t.Errorf("Quebec high band = %v, want (0, 0.3]", que[geo.BandHigh])
+	}
+	if que[geo.BandLow] > 0.001 {
+		t.Errorf("Quebec low band = %v, want ~0", que[geo.BandLow])
+	}
+	for b := 0; b < geo.NumBands; b++ {
+		if que[b] > carr[b] {
+			t.Errorf("band %d: Quebec %v exceeds Carrington %v", b, que[b], carr[b])
+		}
+	}
+
+	mod, err := BandProbabilities(Moderate, c, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, p := range mod {
+		if p > 0.01 {
+			t.Errorf("Moderate band %d = %v, want ~0", b, p)
+		}
+	}
+}
+
+func TestBandProbabilitiesConductorError(t *testing.T) {
+	if _, err := BandProbabilities(Carrington, Conductor{}, DefaultRepeaterTolerance()); err == nil {
+		t.Error("want error for bad conductor")
+	}
+}
+
+func TestTravelTimeLeadTime(t *testing.T) {
+	// Carrington reached earth in 17.6 hours — still more than the 13-hour
+	// minimum warning the paper says sentinel spacecraft provide.
+	if Carrington.TravelTime.Hours() < 13 {
+		t.Error("Carrington transit under minimum CME transit time")
+	}
+	for _, s := range Scenarios() {
+		if s.TravelTime.Hours() <= 0 {
+			t.Errorf("%s has no travel time", s.Name)
+		}
+	}
+}
+
+func BenchmarkFieldAt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Carrington.FieldAt(52.3)
+	}
+}
+
+func BenchmarkBandProbabilities(b *testing.B) {
+	c := DefaultSubmarineConductor()
+	rt := DefaultRepeaterTolerance()
+	for i := 0; i < b.N; i++ {
+		if _, err := BandProbabilities(Carrington, c, rt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

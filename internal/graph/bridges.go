@@ -1,0 +1,64 @@
+package graph
+
+import "sort"
+
+// Bridges returns the cut edges of the graph — edges whose removal
+// increases the component count — sorted by edge ID. Parallel edges are
+// never bridges (the twin keeps the endpoints connected), and self-loops
+// are never bridges.
+func (g *Graph) Bridges() []EdgeID {
+	n := len(g.nodeLabels)
+	disc := make([]int, n)
+	low := make([]int, n)
+	timer := 0
+	var out []EdgeID
+
+	type frame struct {
+		node      NodeID
+		parentSeg EdgeID // edge used to reach node (-1 for roots)
+		edgeIdx   int
+	}
+	for start := 0; start < n; start++ {
+		if disc[start] != 0 {
+			continue
+		}
+		stack := []frame{{node: NodeID(start), parentSeg: -1}}
+		timer++
+		disc[start], low[start] = timer, timer
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			u := f.node
+			if f.edgeIdx < len(g.adj[u]) {
+				e := g.adj[u][f.edgeIdx]
+				f.edgeIdx++
+				if e == f.parentSeg {
+					continue // the tree edge itself; parallels have ids != e
+				}
+				v := g.Other(e, u)
+				if v == u {
+					continue // self-loop
+				}
+				if disc[v] == 0 {
+					timer++
+					disc[v], low[v] = timer, timer
+					stack = append(stack, frame{node: v, parentSeg: e})
+				} else if disc[v] < low[u] {
+					low[u] = disc[v]
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				if f.parentSeg >= 0 {
+					p := stack[len(stack)-1].node
+					if low[u] < low[p] {
+						low[p] = low[u]
+					}
+					if low[u] > disc[p] {
+						out = append(out, f.parentSeg)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,71 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path halving.
+type UnionFind struct {
+	parent []int
+	rank   []byte
+	sets   int
+}
+
+// NewUnionFind returns n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int, n),
+		rank:   make([]byte, n),
+		sets:   n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, returning true if they were distinct.
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.sets--
+	return true
+}
+
+// Connected reports whether a and b share a set.
+func (u *UnionFind) Connected(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// Sets returns the number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }
+
+// CompactLabels returns a dense component label per element in [0, count).
+func (u *UnionFind) CompactLabels() ([]int, int) {
+	labels := make([]int, len(u.parent))
+	next := 0
+	remap := make(map[int]int, u.sets)
+	for i := range u.parent {
+		r := u.Find(i)
+		l, ok := remap[r]
+		if !ok {
+			l = next
+			remap[r] = l
+			next++
+		}
+		labels[i] = l
+	}
+	return labels, next
+}

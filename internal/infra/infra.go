@@ -1,0 +1,108 @@
+// Package infra analyses the non-cable Internet systems of the paper's
+// §4.4: DNS root servers, hyperscale data centers, and IXPs — how their
+// geographic distribution translates into solar-storm resilience.
+package infra
+
+import (
+	"errors"
+
+	"gicnet/internal/dataset"
+	"gicnet/internal/geo"
+)
+
+// Distribution summarises the latitude exposure of a set of sites.
+type Distribution struct {
+	// Name labels the system in reports.
+	Name string
+	// Count is the number of sites.
+	Count int
+	// FracAbove40 is the share of sites in the vulnerable band.
+	FracAbove40 float64
+	// Curve is the Figure 4-style threshold series over
+	// geo.DefaultThresholds().
+	Curve []float64
+	// Regions counts sites per continental region.
+	Regions map[geo.Region]int
+	// SouthernShare is the fraction of sites in the southern hemisphere —
+	// hemisphere diversity survives a northern-concentrated storm better.
+	SouthernShare float64
+}
+
+// Analyze computes a Distribution from site coordinates.
+func Analyze(name string, coords []geo.Coord) (*Distribution, error) {
+	if len(coords) == 0 {
+		return nil, errors.New("infra: no sites")
+	}
+	d := &Distribution{
+		Name:    name,
+		Count:   len(coords),
+		Curve:   geo.ThresholdCurve(coords, geo.DefaultThresholds()),
+		Regions: make(map[geo.Region]int),
+	}
+	south := 0
+	for _, c := range coords {
+		d.Regions[geo.RegionOf(c)]++
+		if c.Lat < 0 {
+			south++
+		}
+	}
+	d.FracAbove40 = geo.FractionAbove(coords, 40)
+	d.SouthernShare = float64(south) / float64(len(coords))
+	return d, nil
+}
+
+// ResilienceScore is a simple 0-1 heuristic combining the shares the paper
+// argues matter: region diversity, hemisphere diversity, and low exposure
+// above 40 degrees. Higher is more resilient.
+func (d *Distribution) ResilienceScore() float64 {
+	regionDiversity := float64(len(d.Regions)) / float64(len(geo.Regions()))
+	if regionDiversity > 1 {
+		regionDiversity = 1
+	}
+	hemisphere := d.SouthernShare * 2 // 0.5 share -> full credit
+	if hemisphere > 1 {
+		hemisphere = 1
+	}
+	lowLatitude := 1 - d.FracAbove40
+	return (regionDiversity + hemisphere + lowLatitude) / 3
+}
+
+// Report bundles the §4.4 systems analyses.
+type Report struct {
+	DNS      *Distribution
+	Google   *Distribution
+	Facebook *Distribution
+	IXPs     *Distribution
+	Routers  *Distribution
+}
+
+// BuildReport analyses every system in the world.
+func BuildReport(w *dataset.World) (*Report, error) {
+	dns, err := Analyze("dns-roots", dataset.DNSInstanceCoords(w.DNSRoots))
+	if err != nil {
+		return nil, err
+	}
+	google, err := Analyze("google-dcs", dataset.SiteCoords(w.GoogleDCs))
+	if err != nil {
+		return nil, err
+	}
+	facebook, err := Analyze("facebook-dcs", dataset.SiteCoords(w.FacebookDCs))
+	if err != nil {
+		return nil, err
+	}
+	ixps, err := Analyze("ixps", dataset.SiteCoords(w.IXPs))
+	if err != nil {
+		return nil, err
+	}
+	routers, err := Analyze("routers", w.Routers.RouterCoords())
+	if err != nil {
+		return nil, err
+	}
+	return &Report{DNS: dns, Google: google, Facebook: facebook, IXPs: ixps, Routers: routers}, nil
+}
+
+// GoogleMoreResilientThanFacebook reports the paper's §4.4.2 conclusion
+// as a computed comparison.
+func (r *Report) GoogleMoreResilientThanFacebook() bool {
+	return r.Google.ResilienceScore() > r.Facebook.ResilienceScore()
+}

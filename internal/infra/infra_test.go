@@ -1,0 +1,97 @@
+package infra
+
+import (
+	"testing"
+
+	"gicnet/internal/dataset"
+	"gicnet/internal/geo"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze("x", nil); err == nil {
+		t.Error("want error for no sites")
+	}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	coords := []geo.Coord{
+		{Lat: 50, Lon: 0},   // europe, above 40
+		{Lat: -30, Lon: 25}, // africa, south
+		{Lat: 10, Lon: 100}, // asia
+		{Lat: 45, Lon: -90}, // north america, above 40
+	}
+	d, err := Analyze("test", coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count != 4 {
+		t.Errorf("count = %d", d.Count)
+	}
+	if d.FracAbove40 != 0.5 {
+		t.Errorf("FracAbove40 = %v", d.FracAbove40)
+	}
+	if d.SouthernShare != 0.25 {
+		t.Errorf("SouthernShare = %v", d.SouthernShare)
+	}
+	if len(d.Regions) != 4 {
+		t.Errorf("regions = %v", d.Regions)
+	}
+	if len(d.Curve) != 10 {
+		t.Errorf("curve len = %d", len(d.Curve))
+	}
+}
+
+func TestResilienceScoreBounds(t *testing.T) {
+	d, err := Analyze("x", []geo.Coord{{Lat: 0, Lon: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.ResilienceScore()
+	if s < 0 || s > 1 {
+		t.Errorf("score = %v", s)
+	}
+	// A single equatorial site: no hemisphere diversity penalty applies to
+	// the south share (0), low latitude credit is full.
+	spread, err := Analyze("spread", []geo.Coord{
+		{Lat: 10, Lon: 0}, {Lat: -10, Lon: 30}, {Lat: 5, Lon: 100},
+		{Lat: -20, Lon: -60}, {Lat: 15, Lon: -100}, {Lat: -25, Lon: 140},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.ResilienceScore() <= s {
+		t.Errorf("diverse layout %v should beat single site %v", spread.ResilienceScore(), s)
+	}
+}
+
+func TestBuildReportAndPaperConclusions(t *testing.T) {
+	w, err := dataset.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := BuildReport(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.4.2: Google's spread beats Facebook's.
+	if !r.GoogleMoreResilientThanFacebook() {
+		t.Errorf("google score %v should exceed facebook %v",
+			r.Google.ResilienceScore(), r.Facebook.ResilienceScore())
+	}
+	// §4.4.3: DNS roots are highly distributed: all six inhabited regions.
+	if len(r.DNS.Regions) < 6 {
+		t.Errorf("dns regions = %v", r.DNS.Regions)
+	}
+	// DNS should be among the most resilient systems analysed.
+	if r.DNS.ResilienceScore() < r.Facebook.ResilienceScore() {
+		t.Error("dns should score at least as well as facebook")
+	}
+	// Facebook is northern-concentrated: no southern-hemisphere majority.
+	if r.Facebook.SouthernShare > 0.2 {
+		t.Errorf("facebook southern share = %v", r.Facebook.SouthernShare)
+	}
+	// IXPs concentrate above 40 (43% in the paper).
+	if r.IXPs.FracAbove40 < 0.3 {
+		t.Errorf("IXP above-40 = %v", r.IXPs.FracAbove40)
+	}
+}

@@ -1,0 +1,403 @@
+// Package partition implements the §5.3 / §5.1 extensions: analysing how
+// the Internet fragments after a storm, and recommending low-latitude
+// cable additions that keep the partitions stitched together (the paper's
+// guidance: add capacity in lower latitudes and more links through Central
+// and South America).
+package partition
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"gicnet/internal/dataset"
+	"gicnet/internal/failure"
+	"gicnet/internal/geo"
+	"gicnet/internal/graph"
+	"gicnet/internal/topology"
+	"gicnet/internal/xrand"
+)
+
+// Fragmentation summarises one post-storm partition realisation.
+type Fragmentation struct {
+	// Components is the number of connected components among nodes that
+	// still have at least one live cable.
+	Components int
+	// LargestFrac is the largest component's share of connected nodes.
+	LargestFrac float64
+	// IsolatedNodes counts nodes with every cable dead.
+	IsolatedNodes int
+	// RegionSplit counts, per region, how many distinct components its
+	// nodes fall into — the paper's "potentially disconnected landmasses".
+	RegionSplit map[geo.Region]int
+}
+
+// Analyze computes the fragmentation of a network under a cable-death
+// realisation.
+func Analyze(net *topology.Network, cableDead []bool) (*Fragmentation, error) {
+	if len(cableDead) != len(net.Cables) {
+		return nil, errors.New("partition: death vector length mismatch")
+	}
+	g := net.Graph()
+	mask := net.AliveMask(cableDead)
+	labels, _ := g.Components(mask)
+
+	// Only nodes with a live cable participate in "components".
+	iso := map[int]bool{}
+	for _, n := range net.UnreachableNodes(cableDead) {
+		iso[n] = true
+	}
+	compSet := map[int]int{}
+	regionComps := map[geo.Region]map[int]bool{}
+	connected := 0
+	for i, nd := range net.Nodes {
+		if iso[i] || g.Degree(graph.NodeID(i)) == 0 {
+			continue
+		}
+		connected++
+		compSet[labels[i]]++
+		if nd.HasCoord {
+			r := geo.RegionOf(nd.Coord)
+			if regionComps[r] == nil {
+				regionComps[r] = map[int]bool{}
+			}
+			regionComps[r][labels[i]] = true
+		}
+	}
+	largest := 0
+	for _, n := range compSet {
+		if n > largest {
+			largest = n
+		}
+	}
+	f := &Fragmentation{
+		Components:    len(compSet),
+		IsolatedNodes: len(iso),
+		RegionSplit:   map[geo.Region]int{},
+	}
+	if connected > 0 {
+		f.LargestFrac = float64(largest) / float64(connected)
+	}
+	for r, comps := range regionComps {
+		f.RegionSplit[r] = len(comps)
+	}
+	return f, nil
+}
+
+// MeanFragmentation averages fragmentation over Monte Carlo trials.
+func MeanFragmentation(net *topology.Network, m failure.Model, spacingKm float64, trials int, seed uint64) (*Fragmentation, error) {
+	if trials <= 0 {
+		return nil, errors.New("partition: trials must be positive")
+	}
+	root := xrand.New(seed)
+	agg := &Fragmentation{RegionSplit: map[geo.Region]int{}}
+	regionTotals := map[geo.Region]float64{}
+	var comps, largest, isolated float64
+	for ti := 0; ti < trials; ti++ {
+		dead, err := failure.SampleCableDeaths(net, m, spacingKm, root.Split(uint64(ti)))
+		if err != nil {
+			return nil, err
+		}
+		f, err := Analyze(net, dead)
+		if err != nil {
+			return nil, err
+		}
+		comps += float64(f.Components)
+		largest += f.LargestFrac
+		isolated += float64(f.IsolatedNodes)
+		for r, n := range f.RegionSplit {
+			regionTotals[r] += float64(n)
+		}
+	}
+	n := float64(trials)
+	agg.Components = int(comps/n + 0.5)
+	agg.LargestFrac = largest / n
+	agg.IsolatedNodes = int(isolated/n + 0.5)
+	for r, total := range regionTotals {
+		agg.RegionSplit[r] = int(total/n + 0.5)
+	}
+	return agg, nil
+}
+
+// Candidate is a proposed new low-latitude cable.
+type Candidate struct {
+	From, To string // anchor names
+	LengthKm float64
+	// MaxAbsLat of the two endpoints: drives the survival probability.
+	MaxAbsLat float64
+	// SurvivalProb under the reference model.
+	SurvivalProb float64
+	// Benefit is the measured improvement in cross-partition survival
+	// (filled by Recommend).
+	Benefit float64
+}
+
+// Recommend proposes up to n new cables between anchor pairs, favouring
+// low-latitude routes (both endpoints below the mid-band cut) that bridge
+// different regions, ranked by the connectivity benefit they add between
+// the two probe targets under the model. It mutates nothing: each
+// candidate is evaluated on a copy of the network.
+func Recommend(w *dataset.World, m failure.Model, spacingKm float64, trials int, seed uint64, n int, probeA, probeB string) ([]Candidate, error) {
+	if n <= 0 {
+		return nil, errors.New("partition: need n > 0")
+	}
+	net := w.Submarine
+	base, err := pairSurvival(net, m, spacingKm, trials, seed, probeA, probeB)
+	if err != nil {
+		return nil, err
+	}
+
+	var cands []Candidate
+	for _, from := range dataset.Anchors() {
+		if from.Coord.AbsLat() >= geo.MidBandCut {
+			continue
+		}
+		for _, to := range dataset.Anchors() {
+			if to.Name <= from.Name || to.Coord.AbsLat() >= geo.MidBandCut {
+				continue
+			}
+			if geo.RegionOf(from.Coord) == geo.RegionOf(to.Coord) {
+				continue // bridges must cross regions
+			}
+			d := geo.Haversine(from.Coord, to.Coord) * 1.2
+			if d < 3000 || d > 12000 {
+				continue // too short to matter / too long to survive
+			}
+			cands = append(cands, Candidate{
+				From: from.Name, To: to.Name, LengthKm: d,
+				MaxAbsLat: maxf(from.Coord.AbsLat(), to.Coord.AbsLat()),
+			})
+		}
+	}
+	// Pre-rank by analytic survival x probe relevance, then evaluate the
+	// top slice by simulation (evaluating all ~1000 candidates would be
+	// wasteful). Relevance: a bridge can only help the probe pair if its
+	// landings sit near the probes' nodes — one end near each side.
+	probeACoords := coordsOf(net, nodesOf(net, probeA))
+	probeBCoords := coordsOf(net, nodesOf(net, probeB))
+	prelim := make([]float64, len(cands))
+	for i := range cands {
+		p, err := hypotheticalDeathProb(net, m, spacingKm, cands[i])
+		if err != nil {
+			return nil, err
+		}
+		cands[i].SurvivalProb = 1 - p
+		fromA, okA := dataset.AnchorByName(cands[i].From)
+		toA, _ := dataset.AnchorByName(cands[i].To)
+		if !okA {
+			continue
+		}
+		// Best assignment of the two endpoints to the two probe sides.
+		d1 := minDist(fromA.Coord, probeACoords) + minDist(toA.Coord, probeBCoords)
+		d2 := minDist(fromA.Coord, probeBCoords) + minDist(toA.Coord, probeACoords)
+		d := d1
+		if d2 < d {
+			d = d2
+		}
+		relevance := 1 / (1 + d/4000)
+		prelim[i] = cands[i].SurvivalProb * relevance
+	}
+	sort.Sort(&byScore{cands, prelim})
+	limit := 4 * n
+	if limit > len(cands) {
+		limit = len(cands)
+	}
+	evaluated := cands[:limit]
+	for i := range evaluated {
+		augmented, err := withCandidate(net, evaluated[i])
+		if err != nil {
+			return nil, err
+		}
+		after, err := pairSurvival(augmented, m, spacingKm, trials, seed, probeA, probeB)
+		if err != nil {
+			return nil, err
+		}
+		evaluated[i].Benefit = after - base
+	}
+	sort.Slice(evaluated, func(i, j int) bool { return evaluated[i].Benefit > evaluated[j].Benefit })
+	if len(evaluated) > n {
+		evaluated = evaluated[:n]
+	}
+	return evaluated, nil
+}
+
+// byScore sorts candidates and their scores together, descending.
+type byScore struct {
+	cands  []Candidate
+	scores []float64
+}
+
+func (b *byScore) Len() int           { return len(b.cands) }
+func (b *byScore) Less(i, j int) bool { return b.scores[i] > b.scores[j] }
+func (b *byScore) Swap(i, j int) {
+	b.cands[i], b.cands[j] = b.cands[j], b.cands[i]
+	b.scores[i], b.scores[j] = b.scores[j], b.scores[i]
+}
+
+// coordsOf extracts coordinates of node indices with coordinates.
+func coordsOf(net *topology.Network, nodes []int) []geo.Coord {
+	out := make([]geo.Coord, 0, len(nodes))
+	for _, n := range nodes {
+		if net.Nodes[n].HasCoord {
+			out = append(out, net.Nodes[n].Coord)
+		}
+	}
+	return out
+}
+
+// minDist returns the smallest haversine distance from c to any of pts
+// (infinite if pts is empty).
+func minDist(c geo.Coord, pts []geo.Coord) float64 {
+	best := 1e18
+	for _, p := range pts {
+		if d := geo.Haversine(c, p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// hypotheticalDeathProb computes the death probability a candidate cable
+// would have: its repeaters take the model's probability for a synthetic
+// cable whose highest endpoint is the candidate's.
+func hypotheticalDeathProb(net *topology.Network, m failure.Model, spacingKm float64, c Candidate) (float64, error) {
+	tmp, err := withCandidate(net, c)
+	if err != nil {
+		return 0, err
+	}
+	return failure.CableDeathProb(tmp, m, spacingKm, len(tmp.Cables)-1)
+}
+
+// withCandidate returns a copy of net with the candidate cable appended.
+func withCandidate(net *topology.Network, c Candidate) (*topology.Network, error) {
+	fromA, okA := dataset.AnchorByName(c.From)
+	toA, okB := dataset.AnchorByName(c.To)
+	if !okA || !okB {
+		return nil, fmt.Errorf("partition: unknown anchor %q or %q", c.From, c.To)
+	}
+	cp := &topology.Network{Name: net.Name + "+candidate"}
+	cp.Nodes = append(cp.Nodes, net.Nodes...)
+	cp.Cables = append(cp.Cables, net.Cables...)
+	a := len(cp.Nodes)
+	cp.Nodes = append(cp.Nodes, topology.Node{
+		Name: "cand-" + c.From, Coord: fromA.Coord, HasCoord: true, Country: fromA.Country,
+	})
+	b := len(cp.Nodes)
+	cp.Nodes = append(cp.Nodes, topology.Node{
+		Name: "cand-" + c.To, Coord: toA.Coord, HasCoord: true, Country: toA.Country,
+	})
+	// Tie the new landing stations into the existing network with short
+	// backhaul segments to the nearest existing node of the same country.
+	cp.Cables = append(cp.Cables, topology.Cable{
+		Name: fmt.Sprintf("candidate-%s-%s", c.From, c.To),
+		Segments: []topology.Segment{
+			{A: a, B: b, LengthKm: c.LengthKm},
+			{A: a, B: nearestOfCountry(net, fromA), LengthKm: 50},
+			{A: b, B: nearestOfCountry(net, toA), LengthKm: 50},
+		},
+		KnownLength: true,
+	})
+	return cp, nil
+}
+
+// nearestOfCountry finds the nearest existing node in the anchor's
+// country, falling back to the globally nearest node with coordinates.
+func nearestOfCountry(net *topology.Network, a dataset.Anchor) int {
+	best, bestD := -1, 1e18
+	for i, nd := range net.Nodes {
+		if !nd.HasCoord {
+			continue
+		}
+		d := geo.Haversine(nd.Coord, a.Coord)
+		if nd.Country == a.Country {
+			d /= 10 // strong preference for same-country backhaul
+		}
+		if d < bestD {
+			bestD, best = d, i
+		}
+	}
+	return best
+}
+
+// pairSurvival is a local Monte Carlo of target-set connectivity (the
+// core package owns the richer version; this one works on arbitrary
+// networks including augmented copies).
+func pairSurvival(net *topology.Network, m failure.Model, spacingKm float64, trials int, seed uint64, countryA, countryB string) (float64, error) {
+	if trials <= 0 {
+		return 0, errors.New("partition: trials must be positive")
+	}
+	a := nodesOf(net, countryA)
+	b := nodesOf(net, countryB)
+	if len(a) == 0 || len(b) == 0 {
+		return 0, fmt.Errorf("partition: no nodes for %q or %q", countryA, countryB)
+	}
+	g := net.Graph()
+	root := xrand.New(seed)
+	ok := 0
+	for ti := 0; ti < trials; ti++ {
+		dead, err := failure.SampleCableDeaths(net, m, spacingKm, root.Split(uint64(ti)))
+		if err != nil {
+			return 0, err
+		}
+		labels, _ := g.Components(net.AliveMask(dead))
+		seen := map[int]bool{}
+		for _, n := range a {
+			seen[labels[n]] = true
+		}
+		for _, n := range b {
+			if seen[labels[n]] {
+				ok++
+				break
+			}
+		}
+	}
+	return float64(ok) / float64(trials), nil
+}
+
+// nodesOf resolves a country code or "region:<name>" target.
+func nodesOf(net *topology.Network, target string) []int {
+	if len(target) > 7 && target[:7] == "region:" {
+		want := geo.Region(target[7:])
+		var out []int
+		for i, nd := range net.Nodes {
+			if nd.HasCoord && geo.RegionOf(nd.Coord) == want {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	return net.NodesOfCountry(target)
+}
+
+// Compare runs MeanFragmentation before and after adding the candidates,
+// returning (before, after). Used by the topology-design ablation.
+func Compare(ctx context.Context, w *dataset.World, m failure.Model, spacingKm float64, trials int, seed uint64, cands []Candidate) (before, after *Fragmentation, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	net := w.Submarine
+	before, err = MeanFragmentation(net, m, spacingKm, trials, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	augmented := net
+	for _, c := range cands {
+		augmented, err = withCandidate(augmented, c)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	after, err = MeanFragmentation(augmented, m, spacingKm, trials, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return before, after, nil
+}

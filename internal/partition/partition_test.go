@@ -1,0 +1,200 @@
+package partition
+
+import (
+	"context"
+	"testing"
+
+	"gicnet/internal/dataset"
+	"gicnet/internal/failure"
+	"gicnet/internal/geo"
+	"gicnet/internal/topology"
+)
+
+func world(t *testing.T) *dataset.World {
+	t.Helper()
+	w, err := dataset.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestAnalyzeNoFailures(t *testing.T) {
+	net := world(t).Submarine
+	f, err := Analyze(net, make([]bool, len(net.Cables)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Components != 1 {
+		t.Errorf("intact network components = %d, want 1", f.Components)
+	}
+	if f.LargestFrac != 1 {
+		t.Errorf("largest frac = %v", f.LargestFrac)
+	}
+	if f.IsolatedNodes != 0 {
+		t.Errorf("isolated = %d", f.IsolatedNodes)
+	}
+	for r, n := range f.RegionSplit {
+		if n != 1 {
+			t.Errorf("region %v split into %d components on intact network", r, n)
+		}
+	}
+}
+
+func TestAnalyzeAllDead(t *testing.T) {
+	net := world(t).Submarine
+	dead := make([]bool, len(net.Cables))
+	for i := range dead {
+		dead[i] = true
+	}
+	f, err := Analyze(net, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Components != 0 {
+		t.Errorf("all-dead components = %d, want 0", f.Components)
+	}
+	if f.IsolatedNodes != len(net.Nodes) {
+		t.Errorf("isolated = %d, want all %d", f.IsolatedNodes, len(net.Nodes))
+	}
+}
+
+func TestAnalyzeLengthMismatch(t *testing.T) {
+	net := world(t).Submarine
+	if _, err := Analyze(net, make([]bool, 3)); err == nil {
+		t.Error("want length mismatch error")
+	}
+}
+
+func TestMeanFragmentationS1FragmentsMore(t *testing.T) {
+	net := world(t).Submarine
+	s1, err := MeanFragmentation(net, failure.S1(), 150, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := MeanFragmentation(net, failure.S2(), 150, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Components < s2.Components {
+		t.Errorf("S1 components (%d) should be >= S2 (%d)", s1.Components, s2.Components)
+	}
+	if s1.LargestFrac > s2.LargestFrac {
+		t.Errorf("S1 largest frac (%v) should be <= S2 (%v)", s1.LargestFrac, s2.LargestFrac)
+	}
+	if s1.IsolatedNodes <= s2.IsolatedNodes {
+		t.Errorf("S1 isolated (%d) should exceed S2 (%d)", s1.IsolatedNodes, s2.IsolatedNodes)
+	}
+	if _, err := MeanFragmentation(net, failure.S1(), 150, 0, 1); err == nil {
+		t.Error("want trials error")
+	}
+}
+
+func TestRecommendLowLatitudeBridges(t *testing.T) {
+	w := world(t)
+	cands, err := Recommend(w, failure.S1(), 150, 30, 7, 5, "us", "region:europe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates recommended")
+	}
+	for _, c := range cands {
+		if c.MaxAbsLat >= geo.MidBandCut {
+			t.Errorf("candidate %s-%s reaches %v degrees; must stay low-latitude", c.From, c.To, c.MaxAbsLat)
+		}
+		if c.SurvivalProb <= 0 || c.SurvivalProb > 1 {
+			t.Errorf("candidate survival = %v", c.SurvivalProb)
+		}
+	}
+	// ranked by benefit
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Benefit > cands[i-1].Benefit+1e-12 {
+			t.Error("candidates not ranked by benefit")
+			break
+		}
+	}
+	if _, err := Recommend(w, failure.S1(), 150, 5, 7, 0, "us", "gb"); err == nil {
+		t.Error("want n error")
+	}
+}
+
+func TestCompareAugmentationHelps(t *testing.T) {
+	w := world(t)
+	cands, err := Recommend(w, failure.S1(), 150, 30, 9, 3, "us", "region:europe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, after, err := Compare(context.Background(), w, failure.S1(), 150, 12, 9, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adding surviving low-latitude links must not fragment things more.
+	if after.LargestFrac < before.LargestFrac-0.02 {
+		t.Errorf("augmentation reduced largest component: %v -> %v", before.LargestFrac, after.LargestFrac)
+	}
+}
+
+func TestPairSurvivalTargets(t *testing.T) {
+	net := world(t).Submarine
+	if _, err := pairSurvival(net, failure.S2(), 150, 5, 1, "zz", "us"); err == nil {
+		t.Error("want unknown target error")
+	}
+	p, err := pairSurvival(net, failure.Uniform{P: 0}, 150, 5, 1, "us", "region:europe")
+	if err != nil || p != 1 {
+		t.Errorf("no-failure survival = %v, %v", p, err)
+	}
+}
+
+func TestWithCandidateDoesNotMutateOriginal(t *testing.T) {
+	net := world(t).Submarine
+	nodesBefore, cablesBefore := len(net.Nodes), len(net.Cables)
+	c := Candidate{From: "fortaleza", To: "lagos", LengthKm: 6000}
+	aug, err := withCandidate(net, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Nodes) != nodesBefore || len(net.Cables) != cablesBefore {
+		t.Error("original network mutated")
+	}
+	if len(aug.Nodes) != nodesBefore+2 || len(aug.Cables) != cablesBefore+1 {
+		t.Errorf("augmented shape: %d nodes, %d cables", len(aug.Nodes), len(aug.Cables))
+	}
+	if err := aug.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := withCandidate(net, Candidate{From: "atlantis", To: "lagos"}); err == nil {
+		t.Error("want unknown anchor error")
+	}
+}
+
+func TestAnalyzeSyntheticPartition(t *testing.T) {
+	// A hand-built network split into two parts when the bridge dies.
+	net := &topology.Network{
+		Name: "mini",
+		Nodes: []topology.Node{
+			{Name: "a1", Coord: geo.Coord{Lat: 50, Lon: 0}, HasCoord: true},
+			{Name: "a2", Coord: geo.Coord{Lat: 51, Lon: 1}, HasCoord: true},
+			{Name: "b1", Coord: geo.Coord{Lat: -20, Lon: -60}, HasCoord: true},
+			{Name: "b2", Coord: geo.Coord{Lat: -21, Lon: -59}, HasCoord: true},
+		},
+		Cables: []topology.Cable{
+			{Name: "a", Segments: []topology.Segment{{A: 0, B: 1, LengthKm: 100}}},
+			{Name: "b", Segments: []topology.Segment{{A: 2, B: 3, LengthKm: 100}}},
+			{Name: "bridge", Segments: []topology.Segment{{A: 1, B: 2, LengthKm: 9000}}},
+		},
+	}
+	f, err := Analyze(net, []bool{false, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Components != 2 {
+		t.Errorf("components = %d, want 2", f.Components)
+	}
+	if f.LargestFrac != 0.5 {
+		t.Errorf("largest frac = %v, want 0.5", f.LargestFrac)
+	}
+	if f.RegionSplit[geo.RegionEurope] != 1 || f.RegionSplit[geo.RegionSouthAmerica] != 1 {
+		t.Errorf("region split = %v", f.RegionSplit)
+	}
+}

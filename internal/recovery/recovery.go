@@ -1,0 +1,320 @@
+// Package recovery implements the post-storm repair problem of §3.2.2: a
+// small global fleet of cable ships must visit every damaged cable, each
+// repair takes days to weeks, and — unlike the localized faults the fleet
+// was sized for — a superstorm damages hundreds of cables at once. The
+// scheduler decides repair order to restore connectivity fastest.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"gicnet/internal/geo"
+	"gicnet/internal/topology"
+	"gicnet/internal/xrand"
+)
+
+// Fault is one damaged cable awaiting repair.
+type Fault struct {
+	// Cable indexes the network's cable list.
+	Cable int
+	// DamagedRepeaters drives repair duration.
+	DamagedRepeaters int
+	// Location approximates where the ship must sail (midpoint of the
+	// cable's first segment).
+	Location geo.Coord
+}
+
+// FaultsFrom samples faults for every dead cable: the number of damaged
+// repeaters is Binomial(repeaters, severity), at least 1. Networks without
+// coordinates get faults at an unknown location (zero coordinate) —
+// transit time still accrues from the ship's position.
+func FaultsFrom(net *topology.Network, cableDead []bool, spacingKm, severity float64, rng *xrand.Source) ([]Fault, error) {
+	if len(cableDead) != len(net.Cables) {
+		return nil, errors.New("recovery: death vector length mismatch")
+	}
+	if severity <= 0 || severity > 1 {
+		return nil, errors.New("recovery: severity must be in (0,1]")
+	}
+	var out []Fault
+	for ci, dead := range cableDead {
+		if !dead {
+			continue
+		}
+		reps := net.Cables[ci].RepeaterCount(spacingKm)
+		damaged := 0
+		for r := 0; r < reps; r++ {
+			if rng.Bool(severity) {
+				damaged++
+			}
+		}
+		if damaged == 0 {
+			damaged = 1 // the cable died; something broke
+		}
+		f := Fault{Cable: ci, DamagedRepeaters: damaged}
+		seg := net.Cables[ci].Segments[0]
+		a, b := net.Nodes[seg.A], net.Nodes[seg.B]
+		if a.HasCoord && b.HasCoord {
+			f.Location = geo.Midpoint(a.Coord, b.Coord)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Ship is one repair vessel.
+type Ship struct {
+	Name string
+	// Pos is the ship's home port / current position.
+	Pos geo.Coord
+	// SpeedKmPerDay is cruise speed (cable ships do ~300-500 km/day).
+	SpeedKmPerDay float64
+}
+
+// DefaultFleet returns a representative global fleet stationed at major
+// cable depots. The real fleet numbers only a few tens of vessels — the
+// paper's point is that it was sized for localized damage.
+func DefaultFleet() []Ship {
+	mk := func(name string, lat, lon float64) Ship {
+		return Ship{Name: name, Pos: geo.Coord{Lat: lat, Lon: lon}, SpeedKmPerDay: 400}
+	}
+	return []Ship{
+		mk("cs-atlantic-1", 50.9, -1.4),  // Southampton
+		mk("cs-atlantic-2", 40.7, -74.0), // New York
+		mk("cs-caribbean", 18.5, -66.1),  // San Juan
+		mk("cs-pacific-1", 37.8, -122.4), // San Francisco
+		mk("cs-pacific-2", 35.0, 139.8),  // Yokohama
+		mk("cs-asia-1", 1.3, 103.8),      // Singapore
+		mk("cs-asia-2", 22.3, 114.2),     // Hong Kong
+		mk("cs-indian", 19.1, 72.9),      // Mumbai
+		mk("cs-med", 43.3, 5.4),          // Marseille
+		mk("cs-southern", -33.9, 18.4),   // Cape Town
+	}
+}
+
+// Options tunes repair timing.
+type Options struct {
+	// BaseDays is the fixed cost of one cable repair campaign.
+	BaseDays float64
+	// DaysPerRepeater adds time for each damaged repeater.
+	DaysPerRepeater float64
+}
+
+// DefaultOptions matches the paper's "days to weeks" per damage point.
+func DefaultOptions() Options { return Options{BaseDays: 7, DaysPerRepeater: 3} }
+
+// Event is one completed repair.
+type Event struct {
+	Ship  string
+	Cable string
+	// Start and Done are days since the storm.
+	Start, Done float64
+	// NodesRestored is how many previously-unreachable nodes regained a
+	// live cable when this repair completed.
+	NodesRestored int
+}
+
+// Schedule is a full recovery plan.
+type Schedule struct {
+	Events []Event
+	// MakespanDays is when the last repair completes.
+	MakespanDays float64
+	// RestoredAt maps fractional connectivity milestones (0.5, 0.9,
+	// 0.95, 1.0 of the pre-storm connected node count) to days.
+	RestoredAt map[float64]float64
+}
+
+// PlanRecovery greedily schedules the fleet: whenever a ship frees up, it
+// takes the pending fault with the best marginal value rate — nodes that
+// would regain connectivity divided by (transit + repair) time.
+func PlanRecovery(net *topology.Network, faults []Fault, fleet []Ship, opts Options) (*Schedule, error) {
+	if len(fleet) == 0 {
+		return nil, errors.New("recovery: empty fleet")
+	}
+	if opts.BaseDays <= 0 {
+		return nil, errors.New("recovery: base days must be positive")
+	}
+	for _, f := range faults {
+		if f.Cable < 0 || f.Cable >= len(net.Cables) {
+			return nil, fmt.Errorf("recovery: fault references cable %d", f.Cable)
+		}
+	}
+
+	// Current cable state: everything with a fault is dead.
+	dead := make([]bool, len(net.Cables))
+	for _, f := range faults {
+		dead[f.Cable] = true
+	}
+	baselineUnreachable := len(net.UnreachableNodes(dead))
+	totalConnected := net.ConnectedNodeCount()
+	preStormReachable := totalConnected // all nodes had live cables pre-storm
+
+	type shipState struct {
+		ship Ship
+		free float64
+		pos  geo.Coord
+	}
+	ships := make([]shipState, len(fleet))
+	for i, s := range fleet {
+		if s.SpeedKmPerDay <= 0 {
+			return nil, fmt.Errorf("recovery: ship %q has no speed", s.Name)
+		}
+		ships[i] = shipState{ship: s, pos: s.Pos}
+	}
+
+	pending := append([]Fault(nil), faults...)
+	sched := &Schedule{RestoredAt: map[float64]float64{}}
+
+	for len(pending) > 0 {
+		// Pick the ship that frees first.
+		si := 0
+		for i := range ships {
+			if ships[i].free < ships[si].free {
+				si = i
+			}
+		}
+		ship := &ships[si]
+
+		// Choose the fault with the best value rate for this ship.
+		bestIdx, bestRate, bestDone := -1, -1.0, 0.0
+		var bestRestored int
+		for fi, f := range pending {
+			transit := geo.Haversine(ship.pos, f.Location) / ship.ship.SpeedKmPerDay
+			repair := opts.BaseDays + opts.DaysPerRepeater*float64(f.DamagedRepeaters)
+			done := ship.free + transit + repair
+			// Marginal reconnection value of restoring this cable now.
+			dead[f.Cable] = false
+			restored := 0
+			if baselineUnreachable > 0 {
+				restored = baselineUnreachable - len(net.UnreachableNodes(dead))
+			}
+			dead[f.Cable] = true
+			rate := (float64(restored) + 0.1) / (transit + repair)
+			if rate > bestRate {
+				bestRate, bestIdx, bestDone, bestRestored = rate, fi, done, restored
+			}
+		}
+		f := pending[bestIdx]
+		pending = append(pending[:bestIdx], pending[bestIdx+1:]...)
+
+		// Mark repaired for subsequent marginal-value estimates (they
+		// assume earlier-scheduled work completes).
+		dead[f.Cable] = false
+		baselineUnreachable = len(net.UnreachableNodes(dead))
+		_ = bestRestored
+		sched.Events = append(sched.Events, Event{
+			Ship:  ship.ship.Name,
+			Cable: net.Cables[f.Cable].Name,
+			Start: ship.free,
+			Done:  bestDone,
+		})
+		ship.free = bestDone
+		ship.pos = f.Location
+		if bestDone > sched.MakespanDays {
+			sched.MakespanDays = bestDone
+		}
+	}
+
+	// Post-pass in completion order: per-event restoration counts and
+	// milestone crossing times. (Assignment order differs from completion
+	// order once several ships work in parallel.)
+	sort.Slice(sched.Events, func(i, j int) bool { return sched.Events[i].Done < sched.Events[j].Done })
+	for i := range dead {
+		dead[i] = false
+	}
+	cableIdx := make(map[string]int, len(net.Cables))
+	for ci := range net.Cables {
+		cableIdx[net.Cables[ci].Name] = ci
+	}
+	for _, f := range faults {
+		dead[f.Cable] = true
+	}
+	milestones := []float64{0.5, 0.9, 0.95, 1.0}
+	unreachable := len(net.UnreachableNodes(dead))
+	record := func(day float64) {
+		restoredFrac := float64(preStormReachable-unreachable) / float64(preStormReachable)
+		for _, m := range milestones {
+			if _, done := sched.RestoredAt[m]; !done && restoredFrac >= m {
+				sched.RestoredAt[m] = day
+			}
+		}
+	}
+	record(0)
+	for ei := range sched.Events {
+		e := &sched.Events[ei]
+		dead[cableIdx[e.Cable]] = false
+		now := len(net.UnreachableNodes(dead))
+		e.NodesRestored = unreachable - now
+		unreachable = now
+		record(e.Done)
+	}
+	for _, m := range milestones {
+		if _, ok := sched.RestoredAt[m]; !ok {
+			sched.RestoredAt[m] = sched.MakespanDays
+		}
+	}
+	return sched, nil
+}
+
+// RestorationCurve samples restored-connectivity fraction at the given
+// day marks from the schedule's events.
+func (s *Schedule) RestorationCurve(net *topology.Network, faults []Fault, days []float64) []float64 {
+	dead := make([]bool, len(net.Cables))
+	for _, f := range faults {
+		dead[f.Cable] = true
+	}
+	total := net.ConnectedNodeCount()
+	repairDay := map[string]float64{}
+	for _, e := range s.Events {
+		repairDay[e.Cable] = e.Done
+	}
+	out := make([]float64, len(days))
+	for di, day := range days {
+		cur := make([]bool, len(dead))
+		copy(cur, dead)
+		for ci := range net.Cables {
+			if cur[ci] && repairDay[net.Cables[ci].Name] <= day {
+				cur[ci] = false
+			}
+		}
+		unreachable := len(net.UnreachableNodes(cur))
+		out[di] = float64(total-unreachable) / float64(total)
+	}
+	return out
+}
+
+// MonthsToRestore converts a day count to months (30-day months), the
+// paper's unit for "outages lasting several months".
+func MonthsToRestore(days float64) float64 { return days / 30 }
+
+// FleetSizeSweep returns the 95%-restoration time for fleets of various
+// sizes built by truncating/extending the default fleet — the capacity
+// ablation behind the paper's warning that repair capacity, not repair
+// speed, dominates recovery from a global event.
+func FleetSizeSweep(net *topology.Network, faults []Fault, sizes []int, opts Options) (map[int]float64, error) {
+	base := DefaultFleet()
+	out := make(map[int]float64, len(sizes))
+	for _, n := range sizes {
+		if n <= 0 {
+			return nil, errors.New("recovery: fleet size must be positive")
+		}
+		fleet := make([]Ship, n)
+		for i := 0; i < n; i++ {
+			s := base[i%len(base)]
+			s.Name = fmt.Sprintf("%s-%d", s.Name, i/len(base))
+			fleet[i] = s
+		}
+		sched, err := PlanRecovery(net, faults, fleet, opts)
+		if err != nil {
+			return nil, err
+		}
+		t := sched.RestoredAt[0.95]
+		if math.IsNaN(t) {
+			t = sched.MakespanDays
+		}
+		out[n] = t
+	}
+	return out, nil
+}

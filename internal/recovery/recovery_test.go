@@ -1,0 +1,234 @@
+package recovery
+
+import (
+	"math"
+	"testing"
+
+	"gicnet/internal/dataset"
+	"gicnet/internal/failure"
+	"gicnet/internal/topology"
+	"gicnet/internal/xrand"
+)
+
+func stormDamage(t *testing.T) (*topology.Network, []Fault, []bool) {
+	t.Helper()
+	w, err := dataset.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := w.Submarine
+	rng := xrand.New(42)
+	dead, err := failure.SampleCableDeaths(net, failure.S2(), 150, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults, err := FaultsFrom(net, dead, 150, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) == 0 {
+		t.Fatal("S2 storm produced no faults")
+	}
+	return net, faults, dead
+}
+
+func TestFaultsFromValidation(t *testing.T) {
+	net, _, dead := stormDamage(t)
+	rng := xrand.New(1)
+	if _, err := FaultsFrom(net, make([]bool, 2), 150, 0.1, rng); err == nil {
+		t.Error("want length error")
+	}
+	if _, err := FaultsFrom(net, dead, 150, 0, rng); err == nil {
+		t.Error("want severity error")
+	}
+	if _, err := FaultsFrom(net, dead, 150, 1.5, rng); err == nil {
+		t.Error("want severity error")
+	}
+}
+
+func TestFaultsHaveDamage(t *testing.T) {
+	net, faults, dead := stormDamage(t)
+	deadCount := 0
+	for _, d := range dead {
+		if d {
+			deadCount++
+		}
+	}
+	if len(faults) != deadCount {
+		t.Errorf("faults = %d, dead cables = %d", len(faults), deadCount)
+	}
+	for _, f := range faults {
+		if f.DamagedRepeaters < 1 {
+			t.Fatalf("fault on %s has no damage", net.Cables[f.Cable].Name)
+		}
+	}
+}
+
+func TestPlanRecoveryBasics(t *testing.T) {
+	net, faults, _ := stormDamage(t)
+	sched, err := PlanRecovery(net, faults, DefaultFleet(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) != len(faults) {
+		t.Fatalf("events = %d, faults = %d", len(sched.Events), len(faults))
+	}
+	if sched.MakespanDays <= 0 {
+		t.Error("zero makespan")
+	}
+	// Events sorted by completion, each with sane times.
+	prev := 0.0
+	for _, e := range sched.Events {
+		if e.Done < e.Start {
+			t.Fatalf("event %q finishes before it starts", e.Cable)
+		}
+		if e.Done < prev {
+			t.Fatal("events not sorted by completion")
+		}
+		prev = e.Done
+	}
+	// Milestones are monotone in threshold.
+	if sched.RestoredAt[0.5] > sched.RestoredAt[0.95] {
+		t.Errorf("milestones inverted: %v", sched.RestoredAt)
+	}
+	if sched.RestoredAt[1.0] > sched.MakespanDays+1e-9 {
+		t.Errorf("full restoration after makespan: %v > %v", sched.RestoredAt[1.0], sched.MakespanDays)
+	}
+	// A storm-scale outage takes a long time with a realistic fleet — the
+	// paper's "several months" concern.
+	if MonthsToRestore(sched.MakespanDays) < 1 {
+		t.Errorf("makespan = %v days; storm-scale repair should take months", sched.MakespanDays)
+	}
+}
+
+func TestPlanRecoveryValidation(t *testing.T) {
+	net, faults, _ := stormDamage(t)
+	if _, err := PlanRecovery(net, faults, nil, DefaultOptions()); err == nil {
+		t.Error("want empty fleet error")
+	}
+	opts := DefaultOptions()
+	opts.BaseDays = 0
+	if _, err := PlanRecovery(net, faults, DefaultFleet(), opts); err == nil {
+		t.Error("want base days error")
+	}
+	bad := []Fault{{Cable: 99999}}
+	if _, err := PlanRecovery(net, bad, DefaultFleet(), DefaultOptions()); err == nil {
+		t.Error("want fault index error")
+	}
+	fleet := DefaultFleet()
+	fleet[0].SpeedKmPerDay = 0
+	if _, err := PlanRecovery(net, faults, fleet, DefaultOptions()); err == nil {
+		t.Error("want ship speed error")
+	}
+}
+
+func TestBiggerFleetFinishesFaster(t *testing.T) {
+	net, faults, _ := stormDamage(t)
+	times, err := FleetSizeSweep(net, faults, []int{2, 10, 40}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(times[40] <= times[10] && times[10] <= times[2]) {
+		t.Errorf("restoration time should fall with fleet size: %v", times)
+	}
+	if times[2] <= 0 {
+		t.Error("zero restoration time")
+	}
+	if _, err := FleetSizeSweep(net, faults, []int{0}, DefaultOptions()); err == nil {
+		t.Error("want size error")
+	}
+}
+
+func TestRestorationCurveMonotone(t *testing.T) {
+	net, faults, _ := stormDamage(t)
+	sched, err := PlanRecovery(net, faults, DefaultFleet(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := []float64{0, 10, 30, 60, 120, 240, 480, sched.MakespanDays}
+	curve := sched.RestorationCurve(net, faults, days)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]-1e-9 {
+			t.Fatalf("restoration curve not monotone at %v days", days[i])
+		}
+	}
+	if math.Abs(curve[len(curve)-1]-1) > 1e-9 {
+		t.Errorf("restoration at makespan = %v, want 1", curve[len(curve)-1])
+	}
+	if curve[0] >= 1 {
+		t.Error("restoration complete at day 0 despite faults")
+	}
+}
+
+func TestSchedulerPrioritisesReconnection(t *testing.T) {
+	// Two faults: one isolates many nodes, one is redundant. The valuable
+	// repair should complete first when one ship handles both.
+	w, err := dataset.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := w.Submarine
+
+	// Find a cable whose death isolates nodes, and one that doesn't.
+	var valuable, redundant = -1, -1
+	dead := make([]bool, len(net.Cables))
+	for ci := range net.Cables {
+		dead[ci] = true
+		iso := len(net.UnreachableNodes(dead))
+		dead[ci] = false
+		if iso > 0 && valuable < 0 {
+			valuable = ci
+		}
+		if iso == 0 && redundant < 0 {
+			redundant = ci
+		}
+		if valuable >= 0 && redundant >= 0 {
+			break
+		}
+	}
+	if valuable < 0 || redundant < 0 {
+		t.Skip("network lacks the needed cable mix")
+	}
+	faults := []Fault{
+		{Cable: redundant, DamagedRepeaters: 1},
+		{Cable: valuable, DamagedRepeaters: 1},
+	}
+	fleet := DefaultFleet()[:1]
+	sched, err := PlanRecovery(net, faults, fleet, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Events[0].Cable != net.Cables[valuable].Name {
+		t.Errorf("first repair = %q, want the isolating cable %q",
+			sched.Events[0].Cable, net.Cables[valuable].Name)
+	}
+	if sched.Events[0].NodesRestored == 0 {
+		t.Error("valuable repair restored no nodes")
+	}
+}
+
+func TestMonthsToRestore(t *testing.T) {
+	if MonthsToRestore(90) != 3 {
+		t.Errorf("90 days = %v months", MonthsToRestore(90))
+	}
+}
+
+func TestDefaultFleetSane(t *testing.T) {
+	fleet := DefaultFleet()
+	if len(fleet) < 5 {
+		t.Fatal("fleet too small")
+	}
+	seen := map[string]bool{}
+	for _, s := range fleet {
+		if seen[s.Name] {
+			t.Errorf("duplicate ship %q", s.Name)
+		}
+		seen[s.Name] = true
+		if err := s.Pos.Validate(); err != nil {
+			t.Errorf("ship %q position: %v", s.Name, err)
+		}
+		if s.SpeedKmPerDay <= 0 {
+			t.Errorf("ship %q speed", s.Name)
+		}
+	}
+}

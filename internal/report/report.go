@@ -1,0 +1,145 @@
+// Package report renders analysis results as fixed-width text tables and
+// plot-ready series, the output format of the reproduction harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Headers) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row built from format/value pairs: each cell is
+// fmt.Sprintf(format[i], value[i]).
+func (t *Table) AddRowf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = fmt.Sprint(v)
+	}
+	t.AddRow(cells...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is a named (x, y) sequence, optionally with an error band — the
+// textual form of one curve in a paper figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	// Err is the optional per-point standard deviation (error bars).
+	Err []float64
+}
+
+// Validate checks that the coordinate slices line up.
+func (s *Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("report: series %q: %d x vs %d y", s.Name, len(s.X), len(s.Y))
+	}
+	if s.Err != nil && len(s.Err) != len(s.X) {
+		return fmt.Errorf("report: series %q: %d err vs %d x", s.Name, len(s.Err), len(s.X))
+	}
+	return nil
+}
+
+// RenderSeries writes one or more series as aligned columns:
+// x s1 [s1err] s2 [s2err] ... with a header line. All series must share X.
+func RenderSeries(w io.Writer, title string, xLabel string, series ...*Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if len(s.X) != len(series[0].X) {
+			return fmt.Errorf("report: series %q has mismatched length", s.Name)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "## %s\n", title)
+	}
+	fmt.Fprintf(&b, "%-12s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %-12s", s.Name)
+		if s.Err != nil {
+			fmt.Fprintf(&b, "  %-12s", s.Name+"-sd")
+		}
+	}
+	b.WriteByte('\n')
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "%-12.4g", series[0].X[i])
+		for _, s := range series {
+			fmt.Fprintf(&b, "  %-12.4g", s.Y[i])
+			if s.Err != nil {
+				fmt.Fprintf(&b, "  %-12.4g", s.Err[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(frac float64) string { return fmt.Sprintf("%.1f%%", 100*frac) }
+
+// Km formats a length in km with no decimals.
+func Km(v float64) string { return fmt.Sprintf("%.0f km", v) }

@@ -1,0 +1,103 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-longer", "22")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "## demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// columns aligned: every data line at least as wide as widest cell
+	if !strings.HasPrefix(lines[3], "alpha      ") {
+		t.Errorf("row not padded: %q", lines[3])
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "##") {
+		t.Error("untitled table should not emit a title line")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "x", "y")
+	tb.AddRowf(1.5, "z")
+	if tb.Rows[0][0] != "1.5" || tb.Rows[0][1] != "z" {
+		t.Errorf("rows = %v", tb.Rows)
+	}
+}
+
+func TestSeriesValidate(t *testing.T) {
+	s := &Series{Name: "s", X: []float64{1, 2}, Y: []float64{1}}
+	if err := s.Validate(); err == nil {
+		t.Error("want length mismatch error")
+	}
+	s = &Series{Name: "s", X: []float64{1}, Y: []float64{1}, Err: []float64{1, 2}}
+	if err := s.Validate(); err == nil {
+		t.Error("want err-length mismatch error")
+	}
+	s = &Series{Name: "s", X: []float64{1}, Y: []float64{1}, Err: []float64{0.1}}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	a := &Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}}
+	b := &Series{Name: "b", X: []float64{1, 2}, Y: []float64{30, 40}, Err: []float64{1, 2}}
+	var buf strings.Builder
+	if err := RenderSeries(&buf, "curves", "x", a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## curves", "a", "b", "b-sd", "10", "40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, 2 points
+		t.Errorf("lines = %d", len(lines))
+	}
+}
+
+func TestRenderSeriesErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := RenderSeries(&buf, "t", "x"); err == nil {
+		t.Error("want error for no series")
+	}
+	a := &Series{Name: "a", X: []float64{1}, Y: []float64{1}}
+	b := &Series{Name: "b", X: []float64{1, 2}, Y: []float64{1, 2}}
+	if err := RenderSeries(&buf, "t", "x", a, b); err == nil {
+		t.Error("want error for mismatched series")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(0.123))
+	}
+	if Km(1234.56) != "1235 km" {
+		t.Errorf("Km = %q", Km(1234.56))
+	}
+}

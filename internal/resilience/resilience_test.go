@@ -1,0 +1,122 @@
+package resilience
+
+import (
+	"testing"
+
+	"gicnet/internal/dataset"
+	"gicnet/internal/failure"
+	"gicnet/internal/geo"
+)
+
+func world(t *testing.T) *dataset.World {
+	t.Helper()
+	w, err := dataset.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	w := world(t)
+	if _, err := Evaluate(w, Placement{Name: "empty"}, failure.S1(), 150, 5, 1); err == nil {
+		t.Error("want empty placement error")
+	}
+	if _, err := Evaluate(w, GooglePlacement(), failure.S1(), 150, 0, 1); err == nil {
+		t.Error("want trials error")
+	}
+}
+
+func TestEvaluateNoFailures(t *testing.T) {
+	w := world(t)
+	r, err := Evaluate(w, GooglePlacement(), failure.Uniform{P: 0}, 150, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Availability.Mean() != 1 || r.WorstTrial != 1 {
+		t.Errorf("intact availability = %v / worst %v", r.Availability.Mean(), r.WorstTrial)
+	}
+	if r.PartitionsServed.Mean() != 1 {
+		t.Errorf("partitions served = %v", r.PartitionsServed.Mean())
+	}
+}
+
+func TestEvaluateBounds(t *testing.T) {
+	w := world(t)
+	r, err := Evaluate(w, FacebookPlacement(), failure.S1(), 150, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Availability.Mean()
+	if m < 0 || m > 1 {
+		t.Errorf("availability = %v", m)
+	}
+	if r.WorstTrial > m {
+		t.Errorf("worst trial %v exceeds mean %v", r.WorstTrial, m)
+	}
+	// under S1 some availability must be lost
+	if m == 1 {
+		t.Error("S1 storm cost no availability at all")
+	}
+}
+
+func TestGoogleBeatsFacebookUnderStorm(t *testing.T) {
+	// §4.4.2 simulated rather than scored: Google's hemispheric spread
+	// yields at least Facebook's availability under a severe storm.
+	w := world(t)
+	ranked, err := Rank(w, []Placement{FacebookPlacement(), GooglePlacement()}, failure.S1(), 150, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 {
+		t.Fatal("missing results")
+	}
+	if ranked[0].Placement != "google" {
+		t.Errorf("ranking = %s > %s; expected google first (%.3f vs %.3f)",
+			ranked[0].Placement, ranked[1].Placement,
+			ranked[0].Availability.Mean(), ranked[1].Availability.Mean())
+	}
+}
+
+func TestSuiteSeverityOrdering(t *testing.T) {
+	w := world(t)
+	rs, err := Suite(w, GooglePlacement(), 150, 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("suite results = %d", len(rs))
+	}
+	s1, s2 := rs[0], rs[1]
+	if s1.Availability.Mean() > s2.Availability.Mean()+1e-9 {
+		t.Errorf("S1 availability (%v) should not exceed S2 (%v)",
+			s1.Availability.Mean(), s2.Availability.Mean())
+	}
+}
+
+func TestSinglePointPlacementFragile(t *testing.T) {
+	// One replica in the far north: storm availability collapses relative
+	// to a hemispherically spread placement.
+	w := world(t)
+	northOnly := Placement{Name: "north-only", Sites: []dataset.Site{
+		{Name: "lulea", Coord: geo.Coord{Lat: 65.58, Lon: 22.15}},
+	}}
+	spread := Placement{Name: "spread", Sites: []dataset.Site{
+		{Name: "singapore", Coord: geo.Coord{Lat: 1.35, Lon: 103.8}},
+		{Name: "sao-paulo", Coord: geo.Coord{Lat: -23.5, Lon: -46.6}},
+		{Name: "johannesburg", Coord: geo.Coord{Lat: -26.2, Lon: 28.0}},
+		{Name: "virginia", Coord: geo.Coord{Lat: 39.0, Lon: -77.5}},
+	}}
+	n, err := Evaluate(w, northOnly, failure.S1(), 150, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Evaluate(w, spread, failure.S1(), 150, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Availability.Mean() >= s.Availability.Mean() {
+		t.Errorf("north-only availability %v should trail spread %v",
+			n.Availability.Mean(), s.Availability.Mean())
+	}
+}

@@ -1,0 +1,385 @@
+// Package routing models inter-region traffic and its re-routing after
+// cable failures — the paper's §5.5 observation that the Internet, unlike
+// regional power grids, shifts load globally: "when all submarine cables
+// connecting to NY fail, there will be significant shifts in BGP paths and
+// potential overload in Internet cables in California".
+//
+// The model is deliberately coarse: demands between continental regions,
+// shortest-path routing over cable segments, and per-segment load
+// accounting. It answers where load goes and what gets overloaded, not
+// packet-level behaviour.
+package routing
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"gicnet/internal/geo"
+	"gicnet/internal/topology"
+)
+
+// Demand is one directed region-to-region traffic entry. Units are
+// arbitrary (normalised shares).
+type Demand struct {
+	From, To geo.Region
+	Volume   float64
+}
+
+// DefaultDemands synthesises a demand matrix over the inhabited regions,
+// weighted by rough traffic shares (North America and Europe dominate
+// inter-regional volume; intra-region traffic does not cross the
+// submarine network and is excluded).
+func DefaultDemands() []Demand {
+	share := map[geo.Region]float64{
+		geo.RegionNorthAmerica: 0.30,
+		geo.RegionEurope:       0.27,
+		geo.RegionAsia:         0.25,
+		geo.RegionSouthAmerica: 0.08,
+		geo.RegionAfrica:       0.05,
+		geo.RegionOceania:      0.05,
+	}
+	var out []Demand
+	for a, wa := range share {
+		for b, wb := range share {
+			if a == b {
+				continue
+			}
+			out = append(out, Demand{From: a, To: b, Volume: wa * wb})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// segGraph is a weighted adjacency over cable segments.
+type segGraph struct {
+	net *topology.Network
+	// adj[node] lists (segment global index, other node).
+	adj [][]segRef
+	// segs flattens all cable segments with owner cable index.
+	segs []flatSeg
+}
+
+type segRef struct {
+	seg   int
+	other int
+}
+
+type flatSeg struct {
+	cable    int
+	a, b     int
+	lengthKm float64
+}
+
+func buildSegGraph(net *topology.Network) *segGraph {
+	g := &segGraph{net: net, adj: make([][]segRef, len(net.Nodes))}
+	for ci, c := range net.Cables {
+		for _, s := range c.Segments {
+			si := len(g.segs)
+			g.segs = append(g.segs, flatSeg{cable: ci, a: s.A, b: s.B, lengthKm: s.LengthKm})
+			g.adj[s.A] = append(g.adj[s.A], segRef{si, s.B})
+			if s.A != s.B {
+				g.adj[s.B] = append(g.adj[s.B], segRef{si, s.A})
+			}
+		}
+	}
+	return g
+}
+
+// Report is the result of routing a demand set over a (possibly damaged)
+// network.
+type Report struct {
+	// SegmentLoad is total volume per flattened segment.
+	SegmentLoad []float64
+	// SegmentCable maps flattened segments back to cable indices.
+	SegmentCable []int
+	// Stranded is the demand volume with no surviving path.
+	Stranded float64
+	// Total is the full demand volume.
+	Total float64
+}
+
+// StrandedFrac is the share of demand left unroutable.
+func (r *Report) StrandedFrac() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return r.Stranded / r.Total
+}
+
+// Route routes every demand along the shortest surviving path between the
+// regions' gateway nodes. cableDead may be nil (intact network). Each
+// region's gateway set is its up-to-8 highest-degree landing points with
+// coordinates; demand splits evenly across gateway pairs that can reach
+// each other.
+func Route(net *topology.Network, demands []Demand, cableDead []bool) (*Report, error) {
+	if cableDead != nil && len(cableDead) != len(net.Cables) {
+		return nil, errors.New("routing: death vector length mismatch")
+	}
+	g := buildSegGraph(net)
+	gateways := gatewaysByRegion(net)
+
+	rep := &Report{
+		SegmentLoad:  make([]float64, len(g.segs)),
+		SegmentCable: make([]int, len(g.segs)),
+	}
+	for i, s := range g.segs {
+		rep.SegmentCable[i] = s.cable
+	}
+
+	alive := func(si int) bool {
+		return cableDead == nil || !cableDead[g.segs[si].cable]
+	}
+
+	for _, d := range demands {
+		rep.Total += d.Volume
+		from := gateways[d.From]
+		to := gateways[d.To]
+		if len(from) == 0 || len(to) == 0 {
+			rep.Stranded += d.Volume
+			continue
+		}
+		// Split demand across source gateways; each routes to its nearest
+		// reachable destination gateway. Shares of gateways with no
+		// surviving path spill over to the gateways that still have one —
+		// the BGP-reconvergence analogue that concentrates load on
+		// survivors (§5.5).
+		per := d.Volume / float64(len(from))
+		type routed struct {
+			segs []int
+		}
+		var ok []routed
+		failedShares := 0.0
+		for _, src := range from {
+			segs, found := shortestPath(g, src, to, alive)
+			if !found {
+				failedShares += per
+				continue
+			}
+			ok = append(ok, routed{segs})
+		}
+		if len(ok) == 0 {
+			rep.Stranded += d.Volume
+			continue
+		}
+		share := per + failedShares/float64(len(ok))
+		for _, r := range ok {
+			for _, si := range r.segs {
+				rep.SegmentLoad[si] += share
+			}
+		}
+	}
+	return rep, nil
+}
+
+// gatewaysByRegion picks up to 8 gateway landing points per region: the
+// region's highest-degree *cities* (degree summed across a city's landing
+// point instances), represented by each city's best-connected instance.
+// City aggregation matters: hubs like New York spread their cables over
+// several nearby landing stations.
+func gatewaysByRegion(net *topology.Network) map[geo.Region][]int {
+	deg := make(map[int]int)
+	for _, c := range net.Cables {
+		for _, s := range c.Segments {
+			deg[s.A]++
+			deg[s.B]++
+		}
+	}
+	type city struct {
+		total int
+		best  int // node index of highest-degree instance
+	}
+	cities := map[geo.Region]map[string]*city{}
+	for i, nd := range net.Nodes {
+		if !nd.HasCoord || deg[i] == 0 {
+			continue
+		}
+		r := geo.RegionOf(nd.Coord)
+		key := cityKey(nd.Name)
+		if cities[r] == nil {
+			cities[r] = map[string]*city{}
+		}
+		c := cities[r][key]
+		if c == nil {
+			c = &city{best: i}
+			cities[r][key] = c
+		}
+		c.total += deg[i]
+		if deg[i] > deg[c.best] || (deg[i] == deg[c.best] && i < c.best) {
+			c.best = i
+		}
+	}
+	byRegion := map[geo.Region][]int{}
+	for r, cs := range cities {
+		keys := make([]string, 0, len(cs))
+		for k := range cs {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := cs[keys[i]], cs[keys[j]]
+			if a.total != b.total {
+				return a.total > b.total
+			}
+			return keys[i] < keys[j]
+		})
+		if len(keys) > 8 {
+			keys = keys[:8]
+		}
+		for _, k := range keys {
+			byRegion[r] = append(byRegion[r], cs[k].best)
+		}
+	}
+	return byRegion
+}
+
+// cityKey strips the trailing instance index from a node name
+// ("us-new-york-3" -> "us-new-york").
+func cityKey(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '-' {
+			return name[:i]
+		}
+		if name[i] < '0' || name[i] > '9' {
+			break
+		}
+	}
+	return name
+}
+
+// pqItem is a priority queue entry for Dijkstra.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// shortestPath runs Dijkstra from src to the nearest member of dsts over
+// alive segments, returning the segment indices of the path.
+func shortestPath(g *segGraph, src int, dsts []int, alive func(int) bool) ([]int, bool) {
+	isDst := make(map[int]bool, len(dsts))
+	for _, d := range dsts {
+		isDst[d] = true
+	}
+	const inf = 1e18
+	dist := make(map[int]float64, 256)
+	prevSeg := make(map[int]int, 256)
+	prevNode := make(map[int]int, 256)
+	dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	visited := make(map[int]bool, 256)
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if visited[it.node] {
+			continue
+		}
+		visited[it.node] = true
+		if isDst[it.node] {
+			// reconstruct
+			var segs []int
+			n := it.node
+			for n != src {
+				segs = append(segs, prevSeg[n])
+				n = prevNode[n]
+			}
+			return segs, true
+		}
+		for _, ref := range g.adj[it.node] {
+			if !alive(ref.seg) || visited[ref.other] {
+				continue
+			}
+			nd := it.dist + g.segs[ref.seg].lengthKm
+			cur, seen := dist[ref.other]
+			if !seen {
+				cur = inf
+			}
+			if nd < cur {
+				dist[ref.other] = nd
+				prevSeg[ref.other] = ref.seg
+				prevNode[ref.other] = it.node
+				heap.Push(q, pqItem{node: ref.other, dist: nd})
+			}
+		}
+	}
+	return nil, false
+}
+
+// Shift describes load change on one cable after failures.
+type Shift struct {
+	Cable  string
+	Before float64
+	After  float64
+}
+
+// Ratio returns after/before (inf-like 1e9 when load appeared on an
+// unloaded cable).
+func (s Shift) Ratio() float64 {
+	if s.Before == 0 {
+		if s.After == 0 {
+			return 1
+		}
+		return 1e9
+	}
+	return s.After / s.Before
+}
+
+// CompareLoads aggregates per-segment loads to cables and returns the
+// cables with increased load, biggest absolute increase first.
+func CompareLoads(net *topology.Network, before, after *Report) ([]Shift, error) {
+	if len(before.SegmentLoad) != len(after.SegmentLoad) {
+		return nil, fmt.Errorf("routing: report shapes differ: %d vs %d",
+			len(before.SegmentLoad), len(after.SegmentLoad))
+	}
+	perCableBefore := make([]float64, len(net.Cables))
+	perCableAfter := make([]float64, len(net.Cables))
+	for i := range before.SegmentLoad {
+		perCableBefore[before.SegmentCable[i]] += before.SegmentLoad[i]
+		perCableAfter[after.SegmentCable[i]] += after.SegmentLoad[i]
+	}
+	var out []Shift
+	for ci := range net.Cables {
+		if perCableAfter[ci] > perCableBefore[ci]+1e-12 {
+			out = append(out, Shift{
+				Cable:  net.Cables[ci].Name,
+				Before: perCableBefore[ci],
+				After:  perCableAfter[ci],
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].After-out[i].Before > out[j].After-out[j].Before
+	})
+	return out, nil
+}
+
+// OverloadedCables returns the cables whose post-failure load exceeds
+// headroom x their pre-failure load (only cables that carried load
+// before count).
+func OverloadedCables(shifts []Shift, headroom float64) []Shift {
+	var out []Shift
+	for _, s := range shifts {
+		if s.Before > 0 && s.After > headroom*s.Before {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package satellite
+
+import (
+	"testing"
+
+	"gicnet/internal/gic"
+	"gicnet/internal/xrand"
+)
+
+func TestConstellationValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Constellation)
+	}{
+		{"no planes", func(c *Constellation) { c.Planes = 0 }},
+		{"no sats", func(c *Constellation) { c.SatsPerPlane = 0 }},
+		{"too low", func(c *Constellation) { c.AltitudeKm = 100 }},
+		{"too high", func(c *Constellation) { c.AltitudeKm = 3000 }},
+		{"bad inclination", func(c *Constellation) { c.InclinationDeg = -5 }},
+		{"no shielding value", func(c *Constellation) { c.ShieldingFactor = 0 }},
+		{"over shielded", func(c *Constellation) { c.ShieldingFactor = 1.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := Starlink()
+			tt.mutate(&c)
+			if c.Validate() == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+	if err := Starlink().Validate(); err != nil {
+		t.Error(err)
+	}
+	if Starlink().Size() != 72*22 {
+		t.Errorf("size = %d", Starlink().Size())
+	}
+}
+
+func TestAssessSeverityOrdering(t *testing.T) {
+	c := Starlink()
+	var prev *Exposure
+	// Scenarios are ordered strongest first.
+	for _, s := range gic.Scenarios() {
+		exp, err := Assess(c, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exp.ElectronicsDamageProb < 0 || exp.ElectronicsDamageProb > 1 {
+			t.Fatalf("%s: damage prob %v", s.Name, exp.ElectronicsDamageProb)
+		}
+		if prev != nil {
+			if exp.ElectronicsDamageProb > prev.ElectronicsDamageProb+1e-12 {
+				t.Errorf("%s: damage should not exceed stronger storm", s.Name)
+			}
+			if exp.DragMultiplier > prev.DragMultiplier+1e-12 {
+				t.Errorf("%s: drag should not exceed stronger storm", s.Name)
+			}
+		}
+		prev = exp
+	}
+}
+
+func TestAssessCarringtonSevere(t *testing.T) {
+	exp, err := Assess(Starlink(), gic.Carrington)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.DragMultiplier < 5 {
+		t.Errorf("Carrington drag multiplier = %v, want severe", exp.DragMultiplier)
+	}
+	if exp.DamagedExpected < 1 {
+		t.Errorf("expected damage = %v sats, want nonzero", exp.DamagedExpected)
+	}
+	if exp.Satellites != Starlink().Size() {
+		t.Error("satellite count wrong")
+	}
+}
+
+func TestAssessModerateGentle(t *testing.T) {
+	exp, err := Assess(Starlink(), gic.Moderate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.ReentryRisk {
+		t.Error("moderate storm should not threaten reentry at 550 km")
+	}
+	if exp.ElectronicsDamageProb > 0.05 {
+		t.Errorf("moderate damage prob = %v", exp.ElectronicsDamageProb)
+	}
+}
+
+func TestAssessShieldingHelps(t *testing.T) {
+	hard := Starlink()
+	hard.ShieldingFactor = 1.0
+	soft := Starlink()
+	soft.ShieldingFactor = 0.3
+	h, err := Assess(hard, gic.Carrington)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Assess(soft, gic.Carrington)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ElectronicsDamageProb >= s.ElectronicsDamageProb {
+		t.Errorf("shielding should reduce damage: %v vs %v", h.ElectronicsDamageProb, s.ElectronicsDamageProb)
+	}
+}
+
+func TestAssessLowerAltitudeDecaysFaster(t *testing.T) {
+	low := Starlink()
+	low.AltitudeKm = 350
+	high := Starlink()
+	high.AltitudeKm = 560
+	l, err := Assess(low, gic.Carrington)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Assess(high, gic.Carrington)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.DecayKmPerDay <= h.DecayKmPerDay {
+		t.Errorf("lower shell should decay faster: %v vs %v", l.DecayKmPerDay, h.DecayKmPerDay)
+	}
+	if !l.ReentryRisk {
+		t.Error("a 350 km shell under Carrington drag should flag reentry risk")
+	}
+}
+
+func TestSimulateDecay(t *testing.T) {
+	rng := xrand.New(3)
+	frac, err := SimulateDecay(Starlink(), gic.Carrington, 0, rng)
+	if err != nil || frac != 0 {
+		t.Errorf("zero days: %v, %v", frac, err)
+	}
+	if _, err := SimulateDecay(Starlink(), gic.Carrington, -1, rng); err == nil {
+		t.Error("want duration error")
+	}
+	// Long enough and everything comes down.
+	frac, err = SimulateDecay(Starlink(), gic.Carrington, 10000, rng)
+	if err != nil || frac != 1 {
+		t.Errorf("10000 days: %v, %v", frac, err)
+	}
+	// Monotone-ish in duration.
+	f1, _ := SimulateDecay(Starlink(), gic.Carrington, 100, xrand.New(4))
+	f2, _ := SimulateDecay(Starlink(), gic.Carrington, 800, xrand.New(4))
+	if f2 < f1 {
+		t.Errorf("longer storms should deorbit at least as many: %v vs %v", f1, f2)
+	}
+	bad := Starlink()
+	bad.Planes = 0
+	if _, err := SimulateDecay(bad, gic.Carrington, 1, rng); err == nil {
+		t.Error("want validation error")
+	}
+}

@@ -1,0 +1,176 @@
+// Package sim is the Monte Carlo engine that powers every error-barred
+// number in the paper's evaluation: it runs repeated failure trials over a
+// network, in parallel, with bit-reproducible results.
+//
+// Reproducibility: each trial gets an RNG split from the run seed by trial
+// index, so results do not depend on scheduling or worker count.
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gicnet/internal/failure"
+	"gicnet/internal/stats"
+	"gicnet/internal/topology"
+	"gicnet/internal/xrand"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Model is the repeater failure model.
+	Model failure.Model
+	// SpacingKm is the inter-repeater distance (50, 100 or 150 in the
+	// paper's sweeps).
+	SpacingKm float64
+	// Trials is the number of Monte Carlo repetitions (the paper uses 10).
+	Trials int
+	// Seed drives the trial RNGs.
+	Seed uint64
+	// Workers caps parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Model == nil {
+		return errors.New("sim: nil model")
+	}
+	if c.SpacingKm <= 0 {
+		return failure.ErrBadSpacing
+	}
+	if c.Trials <= 0 {
+		return errors.New("sim: trials must be positive")
+	}
+	return nil
+}
+
+// Result aggregates outcomes over all trials of a run.
+type Result struct {
+	// Network and Model identify the run in reports.
+	Network string
+	Model   string
+	// SpacingKm echoes the configuration.
+	SpacingKm float64
+	// CableFrac aggregates the fraction of failed cables per trial.
+	CableFrac stats.Running
+	// NodeFrac aggregates the fraction of unreachable nodes per trial.
+	NodeFrac stats.Running
+	// Outcomes holds the per-trial raw outcomes, in trial order.
+	Outcomes []failure.Outcome
+}
+
+// Run executes the Monte Carlo simulation described by cfg on net.
+// The context cancels long runs between trials.
+func Run(ctx context.Context, net *topology.Network, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: invalid network: %w", err)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	// Build the graph projection once, before the fan-out, so concurrent
+	// trials never race on the lazy cache.
+	net.Graph()
+
+	root := xrand.New(cfg.Seed)
+	outcomes := make([]failure.Outcome, cfg.Trials)
+	errs := make([]error, workers)
+
+	var wg sync.WaitGroup
+	trialCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ti := range trialCh {
+				rng := root.Split(uint64(ti))
+				dead, err := failure.SampleCableDeaths(net, cfg.Model, cfg.SpacingKm, rng)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				outcomes[ti] = failure.Evaluate(net, dead)
+			}
+		}(w)
+	}
+
+feed:
+	for ti := 0; ti < cfg.Trials; ti++ {
+		select {
+		case <-ctx.Done():
+			break feed
+		case trialCh <- ti:
+		}
+	}
+	close(trialCh)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Network:   net.Name,
+		Model:     cfg.Model.Name(),
+		SpacingKm: cfg.SpacingKm,
+		Outcomes:  outcomes,
+	}
+	for _, o := range outcomes {
+		res.CableFrac.Add(o.CableFrac)
+		res.NodeFrac.Add(o.NodeFrac)
+	}
+	return res, nil
+}
+
+// SweepPoint is one (probability, result) pair of a probability sweep.
+type SweepPoint struct {
+	P      float64
+	Result *Result
+}
+
+// SweepUniform runs one simulation per probability in ps with a uniform
+// model — the x-axis sweep of the paper's Figures 6 and 7. Each point uses
+// a seed split from cfg.Seed by index so points are independent but the
+// whole sweep is reproducible.
+func SweepUniform(ctx context.Context, net *topology.Network, cfg Config, ps []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(ps))
+	root := xrand.New(cfg.Seed)
+	for i, p := range ps {
+		c := cfg
+		c.Model = failure.Uniform{P: p}
+		c.Seed = root.Split(uint64(i)).Uint64()
+		r, err := Run(ctx, net, c)
+		if err != nil {
+			return nil, fmt.Errorf("sweep p=%g: %w", p, err)
+		}
+		out = append(out, SweepPoint{P: p, Result: r})
+	}
+	return out, nil
+}
+
+// DefaultProbabilities is the x-axis of the paper's Figures 6-7:
+// log-spaced from 0.001 to 1.
+func DefaultProbabilities() []float64 {
+	return []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0}
+}
+
+// DefaultSpacings are the paper's inter-repeater distances in km.
+func DefaultSpacings() []float64 { return []float64{50, 100, 150} }

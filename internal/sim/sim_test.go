@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"gicnet/internal/failure"
+	"gicnet/internal/geo"
+	"gicnet/internal/topology"
+)
+
+func testNet() *topology.Network {
+	nodes := []topology.Node{
+		{Name: "a", Coord: geo.Coord{Lat: 65, Lon: 0}, HasCoord: true},
+		{Name: "b", Coord: geo.Coord{Lat: 50, Lon: 10}, HasCoord: true},
+		{Name: "c", Coord: geo.Coord{Lat: 30, Lon: 20}, HasCoord: true},
+		{Name: "d", Coord: geo.Coord{Lat: 10, Lon: 30}, HasCoord: true},
+	}
+	cables := []topology.Cable{
+		{Name: "ab", Segments: []topology.Segment{{A: 0, B: 1, LengthKm: 2000}}, KnownLength: true},
+		{Name: "bc", Segments: []topology.Segment{{A: 1, B: 2, LengthKm: 3000}}, KnownLength: true},
+		{Name: "cd", Segments: []topology.Segment{{A: 2, B: 3, LengthKm: 800}}, KnownLength: true},
+		{Name: "ad", Segments: []topology.Segment{{A: 0, B: 3, LengthKm: 9000}}, KnownLength: true},
+	}
+	return &topology.Network{Name: "t", Nodes: nodes, Cables: cables}
+}
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	n := testNet()
+	if _, err := Run(ctx, n, Config{Model: nil, SpacingKm: 150, Trials: 1}); err == nil {
+		t.Error("nil model must error")
+	}
+	if _, err := Run(ctx, n, Config{Model: failure.Uniform{P: 0.5}, SpacingKm: 0, Trials: 1}); err == nil {
+		t.Error("bad spacing must error")
+	}
+	if _, err := Run(ctx, n, Config{Model: failure.Uniform{P: 0.5}, SpacingKm: 150, Trials: 0}); err == nil {
+		t.Error("zero trials must error")
+	}
+	bad := testNet()
+	bad.Cables[0].Segments[0].B = 99
+	if _, err := Run(ctx, bad, Config{Model: failure.Uniform{P: 0.5}, SpacingKm: 150, Trials: 1}); err == nil {
+		t.Error("invalid network must error")
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{Model: failure.Uniform{P: 0.3}, SpacingKm: 150, Trials: 64, Seed: 42}
+
+	cfg.Workers = 1
+	r1, err := Run(ctx, testNet(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	r8, err := Run(ctx, testNet(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Outcomes, r8.Outcomes) {
+		t.Error("outcomes differ across worker counts; trial RNG must be scheduling-independent")
+	}
+	if r1.CableFrac.Mean() != r8.CableFrac.Mean() {
+		t.Error("means differ across worker counts")
+	}
+}
+
+func TestRunSeedsIndependent(t *testing.T) {
+	ctx := context.Background()
+	base := Config{Model: failure.Uniform{P: 0.3}, SpacingKm: 150, Trials: 32}
+	a := base
+	a.Seed = 1
+	b := base
+	b.Seed = 2
+	ra, err := Run(ctx, testNet(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(ctx, testNet(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(ra.Outcomes, rb.Outcomes) {
+		t.Error("different seeds produced identical outcomes")
+	}
+}
+
+func TestRunExtremeProbabilities(t *testing.T) {
+	ctx := context.Background()
+	r, err := Run(ctx, testNet(), Config{Model: failure.Uniform{P: 1}, SpacingKm: 150, Trials: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CableFrac.Mean() != 1 || r.CableFrac.StdDev() != 0 {
+		t.Errorf("p=1: mean %v std %v, want 1, 0", r.CableFrac.Mean(), r.CableFrac.StdDev())
+	}
+	if r.NodeFrac.Mean() != 1 {
+		t.Errorf("p=1: node mean %v, want 1 (all nodes isolated)", r.NodeFrac.Mean())
+	}
+	r, err = Run(ctx, testNet(), Config{Model: failure.Uniform{P: 0}, SpacingKm: 150, Trials: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CableFrac.Mean() != 0 || r.NodeFrac.Mean() != 0 {
+		t.Error("p=0 should produce zero failures")
+	}
+}
+
+func TestRunMatchesAnalyticExpectation(t *testing.T) {
+	ctx := context.Background()
+	n := testNet()
+	cfg := Config{Model: failure.S1(), SpacingKm: 100, Trials: 4000, Seed: 7}
+	r, err := Run(ctx, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := failure.ExpectedCableFrac(n, cfg.Model, cfg.SpacingKm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.CableFrac.Mean()-want) > 0.02 {
+		t.Errorf("MC cable mean %v, analytic %v", r.CableFrac.Mean(), want)
+	}
+}
+
+func TestRunResultMetadata(t *testing.T) {
+	ctx := context.Background()
+	r, err := Run(ctx, testNet(), Config{Model: failure.S2(), SpacingKm: 50, Trials: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Network != "t" || r.Model != "S2(low)" || r.SpacingKm != 50 {
+		t.Errorf("metadata = %q %q %v", r.Network, r.Model, r.SpacingKm)
+	}
+	if len(r.Outcomes) != 3 || r.CableFrac.N() != 3 {
+		t.Errorf("trial bookkeeping: %d outcomes, n=%d", len(r.Outcomes), r.CableFrac.N())
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, testNet(), Config{Model: failure.Uniform{P: 0.5}, SpacingKm: 150, Trials: 100000, Seed: 1})
+	if err == nil {
+		t.Error("cancelled context should surface an error")
+	}
+}
+
+func TestSweepUniform(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{SpacingKm: 150, Trials: 200, Seed: 3, Model: failure.Uniform{P: 0}}
+	ps := []float64{0.001, 0.01, 0.1, 1}
+	pts, err := SweepUniform(ctx, testNet(), cfg, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(ps) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// failure fraction grows with probability
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Result.CableFrac.Mean() < pts[i-1].Result.CableFrac.Mean()-0.05 {
+			t.Errorf("sweep not increasing at p=%v", pts[i].P)
+		}
+	}
+	if pts[3].Result.CableFrac.Mean() != 1 {
+		t.Errorf("p=1 point mean = %v", pts[3].Result.CableFrac.Mean())
+	}
+}
+
+func TestSweepReproducible(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{SpacingKm: 150, Trials: 50, Seed: 5, Model: failure.Uniform{P: 0}}
+	ps := []float64{0.01, 0.1}
+	a, err := SweepUniform(ctx, testNet(), cfg, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SweepUniform(ctx, testNet(), cfg, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Result.Outcomes, b[i].Result.Outcomes) {
+			t.Fatalf("sweep point %d not reproducible", i)
+		}
+	}
+}
+
+func TestDefaultAxes(t *testing.T) {
+	ps := DefaultProbabilities()
+	if ps[0] != 0.001 || ps[len(ps)-1] != 1 {
+		t.Errorf("probabilities = %v", ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] <= ps[i-1] {
+			t.Error("probabilities must increase")
+		}
+	}
+	sp := DefaultSpacings()
+	if len(sp) != 3 || sp[0] != 50 || sp[2] != 150 {
+		t.Errorf("spacings = %v", sp)
+	}
+}
+
+func TestRunMoreWorkersThanTrials(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{Model: failure.Uniform{P: 0.5}, SpacingKm: 150, Trials: 2, Seed: 1, Workers: 64}
+	if _, err := Run(ctx, testNet(), cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package solar models the solar-activity background of the paper's §2:
+// the 11-year sunspot cycle, the 80-100 year Gleissberg modulation, and
+// the probability of an extreme, Carrington-scale event reaching the
+// earth. It turns the paper's cited estimates into a queryable risk API:
+//
+//   - extreme events directly impacting earth: 2.6-5.2 per century;
+//   - Carrington-scale probability: 1.6%-12% per decade (the paper notes a
+//     once-in-100-years event has a 9% chance per decade under a Bernoulli
+//     model);
+//   - Gleissberg modulation: high-impact event frequency varies by ~4x
+//     across solar maxima;
+//   - cycle 25 (2020-2031) sunspot forecasts ranging from weak to one of
+//     the strongest on record (peak 210-260 vs cycle 24's 116).
+package solar
+
+import (
+	"errors"
+	"math"
+)
+
+// Cycle is one numbered solar cycle.
+type Cycle struct {
+	Number    int
+	StartYear float64
+	PeakYear  float64
+	EndYear   float64
+	PeakSpots float64 // smoothed sunspot number at maximum
+}
+
+// HistoricalCycles returns solar cycles 19-25 with approximate published
+// parameters (cycle 25 uses the McIntosh et al. 2020 strong forecast the
+// paper highlights).
+func HistoricalCycles() []Cycle {
+	return []Cycle{
+		{19, 1954.3, 1958.2, 1964.8, 285},
+		{20, 1964.8, 1968.9, 1976.3, 157},
+		{21, 1976.3, 1979.9, 1986.7, 233},
+		{22, 1986.7, 1989.6, 1996.7, 213},
+		{23, 1996.7, 2001.9, 2008.9, 180},
+		{24, 2008.9, 2014.3, 2019.9, 116},
+		{25, 2019.9, 2025.2, 2031.0, 235}, // McIntosh forecast midpoint
+	}
+}
+
+// CycleLengthYears is the canonical solar cycle period.
+const CycleLengthYears = 11.0
+
+// GleissbergPeriodYears is the long modulation period (80-100 years; we
+// use the centre).
+const GleissbergPeriodYears = 90.0
+
+// GleissbergMinimumYear is the most recent Gleissberg minimum the paper
+// cites context for (the 20th-century minimum was 1910; cycles 23-24 form
+// the current extended minimum, centred near 2009).
+const GleissbergMinimumYear = 2009.0
+
+// ErrBadYear reports a year outside the model's sane range.
+var ErrBadYear = errors.New("solar: year outside 1700-2200")
+
+func checkYear(year float64) error {
+	if year < 1700 || year > 2200 {
+		return ErrBadYear
+	}
+	return nil
+}
+
+// CyclePhase returns the phase of the 11-year cycle in [0,1) at a given
+// year, with 0 at the cycle-25 start (2019.9).
+func CyclePhase(year float64) (float64, error) {
+	if err := checkYear(year); err != nil {
+		return 0, err
+	}
+	p := math.Mod(year-2019.9, CycleLengthYears) / CycleLengthYears
+	if p < 0 {
+		p += 1
+	}
+	return p, nil
+}
+
+// ActivityIndex returns a relative solar-activity level in [0, 1] at a
+// year: the product of the 11-year cycle shape (asymmetric rise/fall) and
+// the Gleissberg envelope (the paper's 4x modulation of high-impact event
+// frequency across maxima).
+func ActivityIndex(year float64) (float64, error) {
+	phase, err := CyclePhase(year)
+	if err != nil {
+		return 0, err
+	}
+	// Asymmetric cycle: ~4 years rise, ~7 years fall.
+	var cycle float64
+	const riseFrac = 4.0 / 11.0
+	if phase < riseFrac {
+		cycle = math.Sin(phase / riseFrac * math.Pi / 2)
+	} else {
+		cycle = math.Cos((phase - riseFrac) / (1 - riseFrac) * math.Pi / 2)
+	}
+	g := GleissbergEnvelope(year)
+	return cycle * g, nil
+}
+
+// GleissbergEnvelope returns the long-cycle modulation in [0.25, 1]: the
+// paper's "factor of 4" variation across solar maxima, minimised at the
+// Gleissberg minimum.
+func GleissbergEnvelope(year float64) float64 {
+	phase := 2 * math.Pi * (year - GleissbergMinimumYear) / GleissbergPeriodYears
+	// cos is -1 at the minimum; map [-1, 1] -> [0.25, 1].
+	return 0.625 - 0.375*math.Cos(phase)
+}
+
+// RiskEstimate bounds the probability of a Carrington-scale event.
+type RiskEstimate struct {
+	// PerDecadeLow/High are the paper's cited bounds (Kirchen et al.
+	// 1.6%, Riley 12%).
+	PerDecadeLow, PerDecadeHigh float64
+	// PerDecadeBernoulli is the reference 9% (once-in-100-years under
+	// independence).
+	PerDecadeBernoulli float64
+}
+
+// BaselineRisk returns the paper's cited estimate range.
+func BaselineRisk() RiskEstimate {
+	return RiskEstimate{PerDecadeLow: 0.016, PerDecadeHigh: 0.12, PerDecadeBernoulli: 0.09}
+}
+
+// WindowProbability converts a per-decade probability into the probability
+// of at least one event in a window of years (Poisson approximation).
+func WindowProbability(perDecade float64, years float64) (float64, error) {
+	if perDecade < 0 || perDecade >= 1 {
+		return 0, errors.New("solar: per-decade probability out of [0,1)")
+	}
+	if years < 0 {
+		return 0, errors.New("solar: negative window")
+	}
+	rate := -math.Log(1-perDecade) / 10 // events per year
+	return 1 - math.Exp(-rate*years), nil
+}
+
+// ModulatedDecadeRisk scales a baseline per-decade probability by the mean
+// Gleissberg envelope over the decade starting at year, normalised so a
+// decade at envelope 1 carries (high-estimate) risk and a decade at the
+// minimum carries a quarter of it — the paper's central warning is that
+// the recent low decades are not representative of the coming ones.
+func ModulatedDecadeRisk(perDecade float64, startYear float64) (float64, error) {
+	if err := checkYear(startYear); err != nil {
+		return 0, err
+	}
+	if perDecade < 0 || perDecade >= 1 {
+		return 0, errors.New("solar: per-decade probability out of [0,1)")
+	}
+	sum := 0.0
+	for y := 0.0; y < 10; y++ {
+		sum += GleissbergEnvelope(startYear + y)
+	}
+	meanEnv := sum / 10
+	rate := -math.Log(1 - perDecade)
+	return 1 - math.Exp(-rate*meanEnv), nil
+}
+
+// Cycle25StrongForecast reports whether the McIntosh-style forecast for
+// the current cycle (peak sunspots 210-260) exceeds the previous cycle's
+// 116 — the condition under which the paper expects a significantly
+// elevated chance of a large-scale event this decade.
+func Cycle25StrongForecast() bool {
+	cycles := HistoricalCycles()
+	return cycles[len(cycles)-1].PeakSpots > cycles[len(cycles)-2].PeakSpots
+}
+
+// NextMaximumAfter returns the year of the next solar maximum at or after
+// the given year, assuming the cycle-25 timing repeats.
+func NextMaximumAfter(year float64) (float64, error) {
+	if err := checkYear(year); err != nil {
+		return 0, err
+	}
+	peak := 2025.2
+	for peak < year {
+		peak += CycleLengthYears
+	}
+	return peak, nil
+}

@@ -1,0 +1,200 @@
+package solar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistoricalCyclesSane(t *testing.T) {
+	cycles := HistoricalCycles()
+	if len(cycles) != 7 {
+		t.Fatalf("cycles = %d", len(cycles))
+	}
+	for i, c := range cycles {
+		if c.StartYear >= c.PeakYear || c.PeakYear >= c.EndYear {
+			t.Errorf("cycle %d ordering broken: %+v", c.Number, c)
+		}
+		if c.PeakSpots <= 0 {
+			t.Errorf("cycle %d has no peak", c.Number)
+		}
+		if i > 0 && math.Abs(c.StartYear-cycles[i-1].EndYear) > 0.11 {
+			t.Errorf("cycle %d does not abut previous", c.Number)
+		}
+	}
+	// Cycle 24 was the weak one the paper discusses.
+	if cycles[5].PeakSpots != 116 {
+		t.Errorf("cycle 24 peak = %v", cycles[5].PeakSpots)
+	}
+}
+
+func TestCyclePhase(t *testing.T) {
+	p, err := CyclePhase(2019.9)
+	if err != nil || math.Abs(p) > 1e-9 {
+		t.Errorf("phase at cycle start = %v, %v", p, err)
+	}
+	p, _ = CyclePhase(2019.9 + 11)
+	if math.Abs(p) > 1e-9 {
+		t.Errorf("phase one cycle later = %v", p)
+	}
+	p, _ = CyclePhase(2025.4)
+	if p <= 0 || p >= 1 {
+		t.Errorf("phase = %v", p)
+	}
+	if _, err := CyclePhase(1000); err == nil {
+		t.Error("want year error")
+	}
+}
+
+func TestCyclePhaseBounds(t *testing.T) {
+	f := func(seed float64) bool {
+		if math.IsNaN(seed) || math.IsInf(seed, 0) {
+			return true
+		}
+		year := 1700 + math.Mod(math.Abs(seed), 500)
+		p, err := CyclePhase(year)
+		return err == nil && p >= 0 && p < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActivityIndexShape(t *testing.T) {
+	// Rises from cycle start to maximum, falls to the next minimum.
+	start, _ := ActivityIndex(2020.0)
+	maxish, _ := ActivityIndex(2023.9) // ~4y rise from 2019.9
+	late, _ := ActivityIndex(2030.5)
+	if !(start < maxish) {
+		t.Errorf("activity should rise: %v -> %v", start, maxish)
+	}
+	if !(late < maxish) {
+		t.Errorf("activity should fall after maximum: %v vs %v", late, maxish)
+	}
+	for _, y := range []float64{1950, 1980, 2005, 2021, 2060} {
+		a, err := ActivityIndex(y)
+		if err != nil || a < 0 || a > 1 {
+			t.Errorf("ActivityIndex(%v) = %v, %v", y, a, err)
+		}
+	}
+	if _, err := ActivityIndex(2500); err == nil {
+		t.Error("want year error")
+	}
+}
+
+func TestGleissbergEnvelope(t *testing.T) {
+	atMin := GleissbergEnvelope(GleissbergMinimumYear)
+	if math.Abs(atMin-0.25) > 1e-9 {
+		t.Errorf("envelope at minimum = %v, want 0.25", atMin)
+	}
+	atMax := GleissbergEnvelope(GleissbergMinimumYear + GleissbergPeriodYears/2)
+	if math.Abs(atMax-1) > 1e-9 {
+		t.Errorf("envelope at maximum = %v, want 1", atMax)
+	}
+	// The paper's "factor of 4" across maxima.
+	if atMax/atMin < 3.9 || atMax/atMin > 4.1 {
+		t.Errorf("modulation factor = %v, want ~4", atMax/atMin)
+	}
+	// 20th century minimum at 1910, largest CME a decade later: envelope
+	// at 1921 should already exceed the 1910-ish minimum.
+	if GleissbergEnvelope(1921) <= GleissbergEnvelope(2009) {
+		t.Error("1921 envelope should exceed the modern minimum")
+	}
+}
+
+func TestBaselineRisk(t *testing.T) {
+	r := BaselineRisk()
+	if r.PerDecadeLow != 0.016 || r.PerDecadeHigh != 0.12 || r.PerDecadeBernoulli != 0.09 {
+		t.Errorf("baseline = %+v", r)
+	}
+	if !(r.PerDecadeLow < r.PerDecadeBernoulli && r.PerDecadeBernoulli < r.PerDecadeHigh) {
+		t.Error("baseline ordering broken")
+	}
+}
+
+func TestWindowProbability(t *testing.T) {
+	// Ten years at the per-decade probability reproduces it.
+	p, err := WindowProbability(0.09, 10)
+	if err != nil || math.Abs(p-0.09) > 1e-9 {
+		t.Errorf("10-year window = %v, %v", p, err)
+	}
+	// Longer windows raise it; a century at 9%/decade is ~61%.
+	p100, _ := WindowProbability(0.09, 100)
+	if math.Abs(p100-(1-math.Pow(0.91, 10))) > 1e-9 {
+		t.Errorf("century probability = %v", p100)
+	}
+	zero, _ := WindowProbability(0.09, 0)
+	if zero != 0 {
+		t.Errorf("zero window = %v", zero)
+	}
+	if _, err := WindowProbability(-0.1, 10); err == nil {
+		t.Error("want probability error")
+	}
+	if _, err := WindowProbability(1, 10); err == nil {
+		t.Error("want probability error")
+	}
+	if _, err := WindowProbability(0.09, -1); err == nil {
+		t.Error("want window error")
+	}
+}
+
+func TestWindowProbabilityMonotone(t *testing.T) {
+	prev := -1.0
+	for years := 0.0; years <= 200; years += 5 {
+		p, err := WindowProbability(0.05, years)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev {
+			t.Fatalf("window probability decreased at %v years", years)
+		}
+		prev = p
+	}
+}
+
+func TestModulatedDecadeRisk(t *testing.T) {
+	// The coming decades sit on the rising side of the Gleissberg cycle:
+	// risk in 2040 exceeds risk in 2010 (the paper's core §2.3 warning).
+	now, err := ModulatedDecadeRisk(0.09, 2010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	later, err := ModulatedDecadeRisk(0.09, 2040)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if later <= now {
+		t.Errorf("2040 decade risk (%v) should exceed 2010 (%v)", later, now)
+	}
+	// Modulated risk never exceeds the unmodulated probability by much
+	// (envelope is <= 1).
+	if later > 0.09+1e-9 {
+		t.Errorf("modulated risk %v exceeds baseline", later)
+	}
+	if _, err := ModulatedDecadeRisk(0.09, 9999); err == nil {
+		t.Error("want year error")
+	}
+	if _, err := ModulatedDecadeRisk(2, 2020); err == nil {
+		t.Error("want probability error")
+	}
+}
+
+func TestCycle25StrongForecast(t *testing.T) {
+	if !Cycle25StrongForecast() {
+		t.Error("embedded cycle-25 forecast should exceed cycle 24")
+	}
+}
+
+func TestNextMaximumAfter(t *testing.T) {
+	y, err := NextMaximumAfter(2020)
+	if err != nil || math.Abs(y-2025.2) > 1e-9 {
+		t.Errorf("next max after 2020 = %v, %v", y, err)
+	}
+	y, _ = NextMaximumAfter(2026)
+	if math.Abs(y-2036.2) > 1e-9 {
+		t.Errorf("next max after 2026 = %v", y)
+	}
+	if _, err := NextMaximumAfter(0); err == nil {
+		t.Error("want year error")
+	}
+}

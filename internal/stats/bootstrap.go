@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"errors"
+	"sort"
+
+	"gicnet/internal/xrand"
+)
+
+// CI is a two-sided confidence interval.
+type CI struct {
+	Lo, Hi float64
+	// Level is the nominal coverage (e.g. 0.95).
+	Level float64
+}
+
+// BootstrapCI estimates a percentile-bootstrap confidence interval for the
+// mean of xs using resamples draws. The paper reports plain standard
+// deviations over 10 trials; the bootstrap gives downstream users a
+// distribution-free alternative for small trial counts.
+func BootstrapCI(xs []float64, level float64, resamples int, rng *xrand.Source) (CI, error) {
+	if len(xs) == 0 {
+		return CI{}, ErrEmpty
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, errors.New("stats: confidence level out of (0,1)")
+	}
+	if resamples < 10 {
+		return CI{}, errors.New("stats: need at least 10 resamples")
+	}
+	means := make([]float64, resamples)
+	for r := 0; r < resamples; r++ {
+		sum := 0.0
+		for i := 0; i < len(xs); i++ {
+			sum += xs[rng.Intn(len(xs))]
+		}
+		means[r] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	lo := means[int(alpha*float64(resamples))]
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return CI{Lo: lo, Hi: means[hiIdx], Level: level}, nil
+}
+
+// Contains reports whether v lies in the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// Width returns Hi - Lo.
+func (c CI) Width() float64 { return c.Hi - c.Lo }

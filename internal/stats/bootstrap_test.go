@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"testing"
+
+	"gicnet/internal/xrand"
+)
+
+func TestBootstrapCIValidation(t *testing.T) {
+	rng := xrand.New(1)
+	if _, err := BootstrapCI(nil, 0.95, 100, rng); err == nil {
+		t.Error("want empty error")
+	}
+	xs := []float64{1, 2, 3}
+	if _, err := BootstrapCI(xs, 0, 100, rng); err == nil {
+		t.Error("want level error")
+	}
+	if _, err := BootstrapCI(xs, 1, 100, rng); err == nil {
+		t.Error("want level error")
+	}
+	if _, err := BootstrapCI(xs, 0.95, 5, rng); err == nil {
+		t.Error("want resamples error")
+	}
+}
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	// Samples from a known distribution: the CI should cover the true
+	// mean in most repetitions.
+	rng := xrand.New(2)
+	const reps = 200
+	covered := 0
+	for r := 0; r < reps; r++ {
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = 5 + rng.NormFloat64()
+		}
+		ci, err := BootstrapCI(xs, 0.95, 400, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ci.Lo > ci.Hi {
+			t.Fatal("inverted interval")
+		}
+		if ci.Contains(5) {
+			covered++
+		}
+	}
+	frac := float64(covered) / reps
+	if frac < 0.85 {
+		t.Errorf("95%% CI covered true mean only %v of the time", frac)
+	}
+}
+
+func TestBootstrapCIDegenerateSample(t *testing.T) {
+	rng := xrand.New(3)
+	ci, err := BootstrapCI([]float64{7, 7, 7, 7}, 0.9, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo != 7 || ci.Hi != 7 || ci.Width() != 0 {
+		t.Errorf("constant sample CI = %+v", ci)
+	}
+	if !ci.Contains(7) || ci.Contains(8) {
+		t.Error("Contains broken")
+	}
+}
+
+func TestBootstrapCIWiderAtHigherLevel(t *testing.T) {
+	xs := make([]float64, 40)
+	rng := xrand.New(4)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	lo, err := BootstrapCI(xs, 0.5, 2000, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := BootstrapCI(xs, 0.99, 2000, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Width() <= lo.Width() {
+		t.Errorf("99%% CI (%v) should be wider than 50%% CI (%v)", hi.Width(), lo.Width())
+	}
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Histogram bins values into fixed-width cells over [Lo, Hi). Values
+// outside the range are clamped into the first/last bin, matching how the
+// paper's latitude histograms treat the poles.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 || !(hi > lo) {
+		return nil, errors.New("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}, nil
+}
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Hi - h.Lo) / float64(len(h.Counts))
+}
+
+// Add bins one value.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / h.BinWidth())
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// AddAll bins every value.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of binned values.
+func (h *Histogram) Total() int { return h.total }
+
+// PDF returns the probability density per bin as percentages that sum to
+// 100 (the unit used on the x-axis of the paper's Figure 3). Empty
+// histograms return all zeros.
+func (h *Histogram) PDF() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = 100 * float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// BinCenters returns the center coordinate of each bin.
+func (h *Histogram) BinCenters() []float64 {
+	w := h.BinWidth()
+	out := make([]float64, len(h.Counts))
+	for i := range out {
+		out[i] = h.Lo + (float64(i)+0.5)*w
+	}
+	return out
+}
+
+// CDF is an empirical cumulative distribution over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs (copied, then sorted).
+func NewCDF(xs []float64) (*CDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}, nil
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	// Index of first element > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile for q in [0,1].
+func (c *CDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	rank := q * float64(len(c.sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c.sorted[lo]
+	}
+	f := rank - float64(lo)
+	return c.sorted[lo]*(1-f) + c.sorted[hi]*f
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// Min returns the smallest sample.
+func (c *CDF) Min() float64 { return c.sorted[0] }
+
+// Max returns the largest sample.
+func (c *CDF) Max() float64 { return c.sorted[len(c.sorted)-1] }
+
+// Points returns up to n (x, P(X<=x)) pairs evenly spaced through the
+// sorted sample, always including the extremes — the series the paper's
+// Figure 5 plots. For n <= 1 or tiny samples it returns one point per value.
+type Point struct {
+	X, Y float64
+}
+
+// Points samples the CDF curve.
+func (c *CDF) Points(n int) []Point {
+	m := len(c.sorted)
+	if n <= 1 || n > m {
+		n = m
+	}
+	out := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (m - 1) / max(n-1, 1)
+		x := c.sorted[idx]
+		out = append(out, Point{X: x, Y: float64(idx+1) / float64(m)})
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+// Package stats provides the descriptive-statistics substrate used by the
+// analyses and the experiment harness: running moments, percentiles,
+// histograms, and empirical PDFs/CDFs matching the paper's figures.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty reports a statistic requested over no data.
+var ErrEmpty = errors.New("stats: empty data")
+
+// Running accumulates count, mean and variance in one pass using Welford's
+// algorithm. The zero value is an empty accumulator ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of samples seen.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 for no samples).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the population variance (0 for fewer than 2 samples).
+// The paper's error bars are standard deviations over 10 trials; it does
+// not state the estimator, so we use the population form consistently.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Merge folds another accumulator into r (parallel Welford merge).
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	d := o.mean - r.mean
+	r.m2 += o.m2 + d*d*float64(r.n)*float64(o.n)/float64(n)
+	r.mean += d * float64(o.n) / float64(n)
+	r.n = n
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	return r.Mean(), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	return r.StdDev(), nil
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of [0,100]")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
+
+// MinMax returns the minimum and maximum of xs.
+func MinMax(xs []float64) (minimum, maximum float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	minimum, maximum = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < minimum {
+			minimum = x
+		}
+		if x > maximum {
+			maximum = x
+		}
+	}
+	return minimum, maximum, nil
+}

@@ -1,0 +1,335 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningAgainstDirect(t *testing.T) {
+	xs := []float64{4, 8, 15, 16, 23, 42}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	wantMean := 18.0
+	if math.Abs(r.Mean()-wantMean) > 1e-12 {
+		t.Errorf("mean = %v, want %v", r.Mean(), wantMean)
+	}
+	// population variance
+	var ss float64
+	for _, x := range xs {
+		ss += (x - wantMean) * (x - wantMean)
+	}
+	wantVar := ss / float64(len(xs))
+	if math.Abs(r.Variance()-wantVar) > 1e-9 {
+		t.Errorf("variance = %v, want %v", r.Variance(), wantVar)
+	}
+	if r.N() != len(xs) {
+		t.Errorf("N = %d", r.N())
+	}
+}
+
+func TestRunningZeroAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.StdDev() != 0 {
+		t.Error("zero-value accumulator should report zeros")
+	}
+	r.Add(7)
+	if r.Mean() != 7 || r.Variance() != 0 {
+		t.Errorf("single sample: mean %v var %v", r.Mean(), r.Variance())
+	}
+}
+
+func TestRunningMergeEqualsSequential(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		var whole Running
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		var a, b Running
+		for i, x := range xs {
+			if i%2 == 0 {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		closeRel := func(x, y float64) bool {
+			return math.Abs(x-y) <= 1e-9*(1+math.Abs(x)+math.Abs(y))
+		}
+		return a.N() == whole.N() &&
+			closeRel(a.Mean(), whole.Mean()) &&
+			closeRel(a.Variance(), whole.Variance())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningMergeEmptySides(t *testing.T) {
+	var a, b Running
+	b.Add(3)
+	b.Add(5)
+	a.Merge(b) // empty receiver
+	if a.N() != 2 || a.Mean() != 4 {
+		t.Errorf("merge into empty: n=%d mean=%v", a.N(), a.Mean())
+	}
+	var c Running
+	a.Merge(c) // empty argument
+	if a.N() != 2 || a.Mean() != 4 {
+		t.Errorf("merge of empty changed state: n=%d mean=%v", a.N(), a.Mean())
+	}
+}
+
+func TestMeanStdDevErrors(t *testing.T) {
+	if _, err := Mean(nil); err == nil {
+		t.Error("Mean(nil) should error")
+	}
+	if _, err := StdDev(nil); err == nil {
+		t.Error("StdDev(nil) should error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {12.5, 1.5},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("want error on empty")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("want error on p<0")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("want error on p>100")
+	}
+}
+
+func TestMedianSingle(t *testing.T) {
+	got, err := Median([]float64{42})
+	if err != nil || got != 42 {
+		t.Errorf("Median([42]) = %v, %v", got, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v,%v,%v", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Error("want error on empty")
+	}
+}
+
+func TestHistogramShapeErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("want error for 0 bins")
+	}
+	if _, err := NewHistogram(10, 10, 5); err == nil {
+		t.Error("want error for lo==hi")
+	}
+	if _, err := NewHistogram(10, 5, 5); err == nil {
+		t.Error("want error for hi<lo")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(-90, 90, 90) // 2-degree bins as in Figure 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.BinWidth() != 2 {
+		t.Fatalf("bin width = %v", h.BinWidth())
+	}
+	h.Add(-90) // first bin
+	h.Add(-89)
+	h.Add(0) // bin 45
+	h.Add(89.999)
+	h.Add(90)   // clamped to last bin
+	h.Add(-100) // clamped to first bin
+	h.Add(100)  // clamped to last bin
+	if h.Counts[0] != 3 {
+		t.Errorf("first bin = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[45] != 1 {
+		t.Errorf("bin 45 = %d, want 1", h.Counts[45])
+	}
+	if h.Counts[89] != 3 {
+		t.Errorf("last bin = %d, want 3", h.Counts[89])
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramPDFSumsTo100(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 10)
+	h.AddAll([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 0.5, 2.5})
+	sum := 0.0
+	for _, p := range h.PDF() {
+		sum += p
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Errorf("PDF sums to %v, want 100", sum)
+	}
+}
+
+func TestHistogramEmptyPDF(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	for _, p := range h.PDF() {
+		if p != 0 {
+			t.Error("empty histogram PDF should be all zero")
+		}
+	}
+}
+
+func TestHistogramBinCenters(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 5)
+	want := []float64{1, 3, 5, 7, 9}
+	got := h.BinCenters()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("center[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c, err := NewCDF([]float64{4, 1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {99, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if c.Min() != 1 || c.Max() != 4 || c.N() != 4 {
+		t.Errorf("min/max/n = %v/%v/%d", c.Min(), c.Max(), c.N())
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	if _, err := NewCDF(nil); err == nil {
+		t.Error("want error on empty sample")
+	}
+}
+
+func TestCDFQuantileInverse(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	c, _ := NewCDF(xs)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+		v := c.Quantile(q)
+		if math.Abs(v-q*100) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", q, v, q*100)
+		}
+	}
+	if c.Quantile(-1) != 0 || c.Quantile(2) != 100 {
+		t.Error("quantile clamping broken")
+	}
+}
+
+func TestCDFAtMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c, err := NewCDF(xs)
+		if err != nil {
+			return false
+		}
+		probe := append([]float64(nil), xs...)
+		sort.Float64s(probe)
+		prev := -1.0
+		for _, x := range probe {
+			p := c.At(x)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return prev == 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	c, _ := NewCDF(xs)
+	pts := c.Points(50)
+	if len(pts) != 50 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].X != 0 || pts[len(pts)-1].X != 999 {
+		t.Errorf("extremes not included: %v .. %v", pts[0], pts[len(pts)-1])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y || pts[i].X < pts[i-1].X {
+			t.Errorf("points not monotone at %d", i)
+		}
+	}
+}
+
+func TestCDFPointsSmallSample(t *testing.T) {
+	c, _ := NewCDF([]float64{1, 2})
+	pts := c.Points(50)
+	if len(pts) != 2 {
+		t.Fatalf("len = %d, want 2", len(pts))
+	}
+}

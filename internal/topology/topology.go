@@ -1,0 +1,382 @@
+// Package topology models long-haul cable networks the way the paper's
+// analysis consumes them: named nodes (landing points / fiber endpoints),
+// multi-branch cables with lengths and repeater counts, and a projection to
+// an undirected graph whose edges die when their owning cable dies.
+//
+// Three concrete networks are analysed throughout the paper and this repo:
+// the global submarine network, the US long-haul land network (Intertubes),
+// and the global ITU land network. All three are instances of Network.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gicnet/internal/geo"
+	"gicnet/internal/graph"
+)
+
+// Node is a cable endpoint: a submarine landing point or a land fiber city.
+type Node struct {
+	// Name is unique within a network (e.g. "us-ny-new-york").
+	Name string
+	// Coord is the node location. Valid only if HasCoord.
+	Coord geo.Coord
+	// HasCoord is false for networks like the ITU land dataset, which
+	// publishes link structure but not coordinates (§4.1.3).
+	HasCoord bool
+	// Country is an ISO-3166-ish lowercase country code ("us", "sg").
+	Country string
+}
+
+// Segment is one branch of a cable connecting two node indices.
+type Segment struct {
+	A, B     int
+	LengthKm float64
+}
+
+// Cable is a long-haul cable. A cable may branch and touch several nodes
+// (the paper's submarine cables interconnect several cities); it fails as a
+// unit — one repeater failure kills every fiber pair in it (§3.2.1).
+type Cable struct {
+	Name     string
+	Segments []Segment
+	// KnownLength is false for the 29 submarine cables whose lengths are
+	// not published; such cables are excluded from length-based analyses
+	// (the paper uses 441 of 470).
+	KnownLength bool
+}
+
+// LengthKm returns the total cable length over all segments.
+func (c *Cable) LengthKm() float64 {
+	total := 0.0
+	for _, s := range c.Segments {
+		total += s.LengthKm
+	}
+	return total
+}
+
+// RepeaterCount returns the number of repeaters at the given inter-repeater
+// spacing: one per full spacing interval. Cables shorter than the spacing
+// need no repeater and are immune to GIC in the paper's model.
+func (c *Cable) RepeaterCount(spacingKm float64) int {
+	if spacingKm <= 0 {
+		return 0
+	}
+	return int(c.LengthKm() / spacingKm)
+}
+
+// Network is a named set of nodes and cables.
+type Network struct {
+	Name   string
+	Nodes  []Node
+	Cables []Cable
+
+	g         *graph.Graph
+	edgeCable []int // graph edge id -> cable index
+}
+
+// Errors returned by Validate.
+var (
+	ErrDanglingSegment = errors.New("topology: segment references missing node")
+	ErrNegativeLength  = errors.New("topology: negative segment length")
+	ErrEmptyCable      = errors.New("topology: cable with no segments")
+	ErrDuplicateNode   = errors.New("topology: duplicate node name")
+)
+
+// Validate checks structural integrity. It must pass before Graph is used.
+func (n *Network) Validate() error {
+	seen := make(map[string]bool, len(n.Nodes))
+	for _, nd := range n.Nodes {
+		if seen[nd.Name] {
+			return fmt.Errorf("%w: %q", ErrDuplicateNode, nd.Name)
+		}
+		seen[nd.Name] = true
+		if nd.HasCoord {
+			if err := nd.Coord.Validate(); err != nil {
+				return fmt.Errorf("node %q: %w", nd.Name, err)
+			}
+		}
+	}
+	for ci, c := range n.Cables {
+		if len(c.Segments) == 0 {
+			return fmt.Errorf("%w: cable %d (%q)", ErrEmptyCable, ci, c.Name)
+		}
+		for _, s := range c.Segments {
+			if s.A < 0 || s.A >= len(n.Nodes) || s.B < 0 || s.B >= len(n.Nodes) {
+				return fmt.Errorf("%w: cable %q segment (%d,%d)", ErrDanglingSegment, c.Name, s.A, s.B)
+			}
+			if s.LengthKm < 0 || math.IsNaN(s.LengthKm) {
+				return fmt.Errorf("%w: cable %q", ErrNegativeLength, c.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Graph returns the graph projection of the network: one graph edge per
+// cable segment. The projection is built once and cached; the network must
+// not be mutated afterwards.
+func (n *Network) Graph() *graph.Graph {
+	if n.g != nil {
+		return n.g
+	}
+	g := graph.New()
+	for _, nd := range n.Nodes {
+		g.AddNode(nd.Name)
+	}
+	n.edgeCable = n.edgeCable[:0]
+	for ci, c := range n.Cables {
+		for _, s := range c.Segments {
+			g.AddEdge(graph.NodeID(s.A), graph.NodeID(s.B))
+			n.edgeCable = append(n.edgeCable, ci)
+		}
+	}
+	n.g = g
+	return g
+}
+
+// AliveMask projects per-cable death onto graph edges: every segment of a
+// dead cable is dead.
+func (n *Network) AliveMask(cableDead []bool) graph.AliveMask {
+	g := n.Graph()
+	mask := make(graph.AliveMask, g.NumEdges())
+	for e := range mask {
+		mask[e] = !cableDead[n.edgeCable[e]]
+	}
+	return mask
+}
+
+// UnreachableNodes returns the indices of nodes whose incident cables are
+// all dead — the paper's per-node failure criterion (§4.3.1). Nodes that
+// had no cables at all are never counted.
+func (n *Network) UnreachableNodes(cableDead []bool) []int {
+	iso := n.Graph().Isolated(n.AliveMask(cableDead))
+	out := make([]int, len(iso))
+	for i, id := range iso {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// ConnectedNodeCount returns the number of nodes with at least one cable.
+func (n *Network) ConnectedNodeCount() int {
+	g := n.Graph()
+	count := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Degree(graph.NodeID(i)) > 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// MaxAbsLatEndpoint returns the highest absolute latitude among the cable's
+// endpoint nodes — the quantity the paper's non-uniform failure models key
+// on ("the highest latitude endpoint of the cable", §4.3.3). Returns
+// (0, false) if no endpoint has coordinates.
+func (n *Network) MaxAbsLatEndpoint(ci int) (float64, bool) {
+	maxAbs := -1.0
+	for _, s := range n.Cables[ci].Segments {
+		for _, ni := range [2]int{s.A, s.B} {
+			nd := n.Nodes[ni]
+			if nd.HasCoord && nd.Coord.AbsLat() > maxAbs {
+				maxAbs = nd.Coord.AbsLat()
+			}
+		}
+	}
+	if maxAbs < 0 {
+		return 0, false
+	}
+	return maxAbs, true
+}
+
+// CableBand returns the latitude risk band of cable ci per the paper's
+// rule (band of the highest-latitude endpoint). Networks without
+// coordinates report BandLow and false.
+func (n *Network) CableBand(ci int) (geo.Band, bool) {
+	l, ok := n.MaxAbsLatEndpoint(ci)
+	if !ok {
+		return geo.BandLow, false
+	}
+	return geo.BandOf(l), true
+}
+
+// MaxAbsLatPath returns the highest absolute latitude reached along the
+// cable's great-circle segments — always at least MaxAbsLatEndpoint,
+// because routes between mid-latitude endpoints arc poleward. The paper
+// bands by endpoint only; this is the physically tighter alternative used
+// by the path-banding ablation.
+func (n *Network) MaxAbsLatPath(ci int) (float64, bool) {
+	maxAbs := -1.0
+	for _, s := range n.Cables[ci].Segments {
+		a, b := n.Nodes[s.A], n.Nodes[s.B]
+		if !a.HasCoord || !b.HasCoord {
+			continue
+		}
+		if m := geo.PathMaxAbsLat(a.Coord, b.Coord); m > maxAbs {
+			maxAbs = m
+		}
+	}
+	if maxAbs < 0 {
+		return 0, false
+	}
+	return maxAbs, true
+}
+
+// CableBandByPath returns the latitude risk band of the cable's full
+// great-circle path.
+func (n *Network) CableBandByPath(ci int) (geo.Band, bool) {
+	l, ok := n.MaxAbsLatPath(ci)
+	if !ok {
+		return geo.BandLow, false
+	}
+	return geo.BandOf(l), true
+}
+
+// EndpointCoords returns the coordinates of all nodes that have them.
+func (n *Network) EndpointCoords() []geo.Coord {
+	var out []geo.Coord
+	for _, nd := range n.Nodes {
+		if nd.HasCoord {
+			out = append(out, nd.Coord)
+		}
+	}
+	return out
+}
+
+// CableLengths returns the lengths of all cables with known length.
+func (n *Network) CableLengths() []float64 {
+	var out []float64
+	for i := range n.Cables {
+		if n.Cables[i].KnownLength {
+			out = append(out, n.Cables[i].LengthKm())
+		}
+	}
+	return out
+}
+
+// CablesWithoutRepeaters counts cables needing no repeater at the spacing.
+func (n *Network) CablesWithoutRepeaters(spacingKm float64) int {
+	count := 0
+	for i := range n.Cables {
+		if n.Cables[i].RepeaterCount(spacingKm) == 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// MeanRepeatersPerCable returns the average repeater count per cable at the
+// given spacing (the paper reports 22.3 submarine / 1.7 Intertubes / 0.63
+// ITU at 150 km).
+func (n *Network) MeanRepeatersPerCable(spacingKm float64) float64 {
+	if len(n.Cables) == 0 {
+		return 0
+	}
+	total := 0
+	for i := range n.Cables {
+		total += n.Cables[i].RepeaterCount(spacingKm)
+	}
+	return float64(total) / float64(len(n.Cables))
+}
+
+// NodesOfCountry returns indices of nodes in the given country.
+func (n *Network) NodesOfCountry(country string) []int {
+	var out []int
+	for i, nd := range n.Nodes {
+		if nd.Country == country {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CablesTouching returns the indices of cables with at least one segment
+// endpoint among the given node set.
+func (n *Network) CablesTouching(nodes []int) []int {
+	in := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		in[v] = true
+	}
+	var out []int
+	for ci, c := range n.Cables {
+		touch := false
+		for _, s := range c.Segments {
+			if in[s.A] || in[s.B] {
+				touch = true
+				break
+			}
+		}
+		if touch {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// NodeIndexByName returns the index of the named node, or -1.
+func (n *Network) NodeIndexByName(name string) int {
+	for i, nd := range n.Nodes {
+		if nd.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// CriticalCables returns the indices of cables whose individual loss
+// disconnects the network (increases its connected-component count) —
+// single points of failure in the §5.1 topology-design sense.
+func (n *Network) CriticalCables() []int {
+	g := n.Graph()
+	_, base := g.Components(nil)
+	dead := make([]bool, len(n.Cables))
+	var out []int
+	for ci := range n.Cables {
+		dead[ci] = true
+		_, count := g.Components(n.AliveMask(dead))
+		dead[ci] = false
+		if count > base {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// OneHopEndpointCoords returns the coordinates of nodes that either lie
+// above the latitude threshold or share a cable with a node above it —
+// the paper's "one-hop endpoints" series in Figure 4(a).
+func (n *Network) OneHopEndpointCoords(threshold float64) []geo.Coord {
+	above := make([]bool, len(n.Nodes))
+	for i, nd := range n.Nodes {
+		above[i] = nd.HasCoord && nd.Coord.AbsLat() > threshold
+	}
+	oneHop := make([]bool, len(n.Nodes))
+	copy(oneHop, above)
+	for _, c := range n.Cables {
+		// A cable touching any above-threshold node exposes all its nodes.
+		touch := false
+		for _, s := range c.Segments {
+			if above[s.A] || above[s.B] {
+				touch = true
+				break
+			}
+		}
+		if !touch {
+			continue
+		}
+		for _, s := range c.Segments {
+			oneHop[s.A] = true
+			oneHop[s.B] = true
+		}
+	}
+	var out []geo.Coord
+	for i, nd := range n.Nodes {
+		if oneHop[i] && nd.HasCoord {
+			out = append(out, nd.Coord)
+		}
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between different seeds", same)
+	}
+}
+
+func TestSplitIndependentOfParentConsumption(t *testing.T) {
+	p1 := New(7)
+	p2 := New(7)
+	p2.Uint64() // advance p2 only
+	c1 := p1.Split(3)
+	// Split must depend only on the state at split time; p1 was not
+	// advanced, p2 was, so compare against a fresh parent.
+	c3 := New(7).Split(3)
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c3.Uint64() {
+			t.Fatal("split stream not a pure function of (seed, key)")
+		}
+	}
+}
+
+func TestSplitKeysDecorrelated(t *testing.T) {
+	p := New(9)
+	a, b := p.Split(1), p.Split(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between adjacent split keys", same)
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(5), New(5)
+	a.Split(1)
+	a.Split(2)
+	if a.Uint64() != b.Uint64() {
+		t.Error("Split advanced the parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(123)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(321)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(11)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) produced only %d distinct values", len(seen))
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(22)
+	const n, k = 70000, 7
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		counts[s.Intn(k)]++
+	}
+	want := float64(n) / k
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBoolEdges(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if s.Bool(-0.5) {
+			t.Fatal("Bool(-0.5) returned true")
+		}
+		if !s.Bool(1.5) {
+			t.Fatal("Bool(1.5) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(44)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", p)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(55)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(66)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	s := New(77)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = s.LogNormal(math.Log(775), 1.0)
+	}
+	// median of lognormal is exp(mu)
+	count := 0
+	for _, v := range vals {
+		if v < 775 {
+			count++
+		}
+	}
+	frac := float64(count) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("fraction below exp(mu) = %v, want ~0.5", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(88)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) len = %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	s := New(99)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Errorf("shuffle changed multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	s := New(101)
+	weights := []float64{1, 0, 3}
+	const n = 100000
+	counts := make([]int, 3)
+	for i := 0; i < n; i++ {
+		counts[s.Pick(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight bucket picked %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestPickDegenerate(t *testing.T) {
+	s := New(5)
+	if s.Pick(nil) != 0 {
+		t.Error("Pick(nil) != 0")
+	}
+	if s.Pick([]float64{0, 0}) != 0 {
+		t.Error("Pick(all zero) != 0")
+	}
+	if s.Pick([]float64{-1, -2}) != 0 {
+		t.Error("Pick(all negative) != 0")
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(10, 20)
+		if v < 10 || v >= 20 {
+			t.Fatalf("Range(10,20) = %v", v)
+		}
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Source
+	_ = s.Uint64() // must not panic
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Intn(1000)
+	}
+}
