@@ -1,0 +1,34 @@
+# Build / verify targets. `make verify` is the PR gate: tier-1 build+test
+# plus static vetting and a race-detector pass over the concurrent engine
+# (the sim worker pool, parallel sweeps, and the failure plan layer).
+
+GO ?= go
+
+.PHONY: all build test vet race verify bench bench-snapshot
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The simulation engine and failure plans run concurrently (worker pools,
+# parallel sweeps, shared sync.Once topology caches) — race-check them on
+# every PR.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/failure/... ./internal/topology/... ./internal/graph/...
+
+verify: vet test race
+
+# Quick hot-path benchmarks with allocation counts.
+bench:
+	$(GO) test -run '^$$' -bench 'Fig6CableFailures|CountryConnectivity|AblationSimWorkers|TrialLoop|PlanCompile' -benchmem .
+
+# Dated JSON snapshot of the full benchmark suite (see cmd/benchdiff).
+bench-snapshot:
+	$(GO) run ./cmd/benchdiff -bench '.' -pkg .

@@ -12,6 +12,7 @@ import (
 	"context"
 	"testing"
 
+	"gicnet/internal/core"
 	"gicnet/internal/dataset"
 	"gicnet/internal/experiments"
 	"gicnet/internal/failure"
@@ -350,4 +351,56 @@ func BenchmarkWorldGeneration(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- performance-architecture benchmarks (plan / scratch / sweep layers) ---
+
+// BenchmarkTrialLoop is the allocation-regression guard on the real
+// submarine network: one steady-state Monte Carlo trial (sample + evaluate)
+// through a compiled plan must report 0 allocs/op.
+func BenchmarkTrialLoop(b *testing.B) {
+	w := benchWorld(b)
+	plan, err := failure.Compile(w.Submarine, failure.S1(), 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dead := make([]bool, plan.NumCables())
+	root := xrand.New(dataset.DefaultSeed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := root.SplitAt(uint64(i))
+		plan.SampleInto(dead, &rng)
+		_ = plan.Evaluate(dead)
+	}
+}
+
+// BenchmarkPlanCompile is the one-time cost a run pays to precompute its
+// per-cable probabilities, repeater counts and incidence lists.
+func BenchmarkPlanCompile(b *testing.B) {
+	w := benchWorld(b)
+	w.Submarine.CableIncidence() // charge the shared topology cache once
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := failure.Compile(w.Submarine, failure.S1(), 150); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPairConnectivity exercises the country-analysis trial loop
+// (plan sampling + scratch union-find connectivity) end to end.
+func BenchmarkPairConnectivity(b *testing.B) {
+	w := benchWorld(b)
+	an, err := core.NewAnalyzer(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.PairConnectivity(ctx, failure.S1(), 150, 50, 1, "us", "region:europe"); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

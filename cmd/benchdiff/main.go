@@ -1,0 +1,176 @@
+// Command benchdiff runs the repository benchmarks and records the results
+// as a dated JSON snapshot (BENCH_<yyyy-mm-dd>.json by default), seeding
+// the performance trajectory the ROADMAP asks for. With -baseline it also
+// prints per-benchmark deltas against a previous snapshot, so a PR can
+// show its speedup (or catch a regression) with one command:
+//
+//	go run ./cmd/benchdiff -bench 'Fig6|AblationSimWorkers|TrialLoop'
+//	go run ./cmd/benchdiff -baseline BENCH_2026-08-06.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is the persisted form of one benchmark run.
+type Snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPU       string   `json:"cpu,omitempty"`
+	Bench     string   `json:"bench_regex"`
+	Packages  string   `json:"packages"`
+	Results   []Result `json:"results"`
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchLine matches `BenchmarkName-8  123  456.7 ns/op  89 B/op  1 allocs/op`
+// (the memory columns are optional). The GOMAXPROCS suffix is stripped
+// separately, so sub-benchmark names like `workers-4` survive intact.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+var cpuLine = regexp.MustCompile(`^cpu: (.+)$`)
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	pkgs := flag.String("pkg", ".", "package pattern passed to go test")
+	count := flag.Int("count", 1, "benchmark repetitions (go test -count)")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (e.g. 10x, 2s); empty uses the default")
+	out := flag.String("out", "", "output file; default BENCH_<date>.json")
+	baseline := flag.String("baseline", "", "previous snapshot to diff against")
+	flag.Parse()
+
+	// Load the baseline before running (and before writing): the default
+	// output path may be the baseline itself when comparing intra-day.
+	var base *Snapshot
+	if *baseline != "" {
+		b, err := load(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		base = b
+	}
+
+	snap, err := run(*bench, *pkgs, *count, *benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + snap.Date + ".json"
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Results))
+
+	if base != nil {
+		diff(base, snap)
+	}
+}
+
+func load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func run(bench, pkgs string, count int, benchtime string) (*Snapshot, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem", "-count", strconv.Itoa(count)}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkgs)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+
+	snap := &Snapshot{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     bench,
+		Packages:  pkgs,
+	}
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		line = strings.TrimSpace(line)
+		if m := cpuLine.FindStringSubmatch(line); m != nil {
+			snap.CPU = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		// Go appends "-<GOMAXPROCS>" to benchmark names when it is > 1;
+		// drop exactly that so snapshots diff cleanly across core counts.
+		name := strings.TrimSuffix(m[1], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0)))
+		r := Result{Name: name}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		snap.Results = append(snap.Results, r)
+	}
+	if len(snap.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched %q in %q", bench, pkgs)
+	}
+	return snap, nil
+}
+
+func diff(old, cur *Snapshot) {
+	oldByName := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldByName[r.Name] = r
+	}
+	fmt.Printf("\n%-50s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	for _, r := range cur.Results {
+		o, ok := oldByName[r.Name]
+		if !ok || o.NsPerOp == 0 {
+			fmt.Printf("%-50s %14s %14.0f %9s %8dx\n", r.Name, "-", r.NsPerOp, "new", r.AllocsPerOp)
+			continue
+		}
+		delta := 100 * (r.NsPerOp - o.NsPerOp) / o.NsPerOp
+		fmt.Printf("%-50s %14.0f %14.0f %+8.1f%% %4d→%-4d\n",
+			r.Name, o.NsPerOp, r.NsPerOp, delta, o.AllocsPerOp, r.AllocsPerOp)
+	}
+}

@@ -97,19 +97,28 @@ func (a *Analyzer) PairConnectivity(ctx context.Context, m failure.Model, spacin
 	if err != nil {
 		return Connectivity{}, err
 	}
-	g := net.Graph()
+	// Compile the failure model once — per-cable probabilities are constant
+	// across trials — and reuse one scratch (dead mask, edge mask,
+	// union-find) so the trial loop allocates nothing.
+	plan, err := failure.Compile(net, m, spacingKm)
+	if err != nil {
+		return Connectivity{}, err
+	}
+	scratch := net.Graph().NewScratch()
+	fromIDs := nodeIDs(fromNodes)
+	toIDs := nodeIDs(toNodes)
+	dead := make([]bool, plan.NumCables())
+	var mask graph.AliveMask
 	root := xrand.New(seed)
 	survived := 0
 	for ti := 0; ti < trials; ti++ {
 		if err := ctx.Err(); err != nil {
 			return Connectivity{}, err
 		}
-		rng := root.Split(uint64(ti))
-		dead, err := failure.SampleCableDeaths(net, m, spacingKm, rng)
-		if err != nil {
-			return Connectivity{}, err
-		}
-		if connected(g, net.AliveMask(dead), fromNodes, toNodes) {
+		rng := root.SplitAt(uint64(ti))
+		plan.SampleInto(dead, &rng)
+		mask = net.AliveMaskInto(mask, dead)
+		if scratch.AnyConnected(mask, fromIDs, toIDs) {
 			survived++
 		}
 	}
@@ -120,20 +129,12 @@ func (a *Analyzer) PairConnectivity(ctx context.Context, m failure.Model, spacin
 	}, nil
 }
 
-// connected reports whether any node of from shares a component with any
-// node of to under the mask.
-func connected(g *graph.Graph, mask graph.AliveMask, from, to []int) bool {
-	labels, _ := g.Components(mask)
-	fromLabels := make(map[int]bool, len(from))
-	for _, n := range from {
-		fromLabels[labels[n]] = true
+func nodeIDs(xs []int) []graph.NodeID {
+	out := make([]graph.NodeID, len(xs))
+	for i, x := range xs {
+		out[i] = graph.NodeID(x)
 	}
-	for _, n := range to {
-		if fromLabels[labels[n]] {
-			return true
-		}
-	}
-	return false
+	return out
 }
 
 // CableFate describes one cable touching a target and its death chance.

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 
 	"gicnet/internal/asn"
@@ -215,34 +216,70 @@ type Fig67Result struct {
 	Cells []SweepCell
 }
 
-// Fig67 runs the uniform-probability sweeps.
+// Fig67 runs the uniform-probability sweeps. The network×spacing cells are
+// independent (each has its own derived seed), so they fan out across the
+// cfg.Workers budget; any leftover budget parallelises the sweep points
+// within a cell. Cell order and results are identical to the serial loop.
 func Fig67(ctx context.Context, w *dataset.World, cfg Config) (*Fig67Result, error) {
 	probs := sim.DefaultProbabilities()
-	out := &Fig67Result{}
+	type cellSpec struct {
+		spacing float64
+		net     *topology.Network
+	}
+	var specs []cellSpec
 	for _, spacing := range sim.DefaultSpacings() {
 		for _, net := range w.Networks() {
-			simCfg := sim.Config{
-				SpacingKm: spacing,
-				Trials:    cfg.Trials,
-				Seed:      cfg.Seed ^ uint64(spacing),
-				Workers:   cfg.Workers,
-				Model:     failure.Uniform{P: 0},
-			}
-			pts, err := sim.SweepUniform(ctx, net, simCfg, probs)
-			if err != nil {
-				return nil, err
-			}
-			cell := SweepCell{Network: net.Name, SpacingKm: spacing, Probs: probs}
-			for _, p := range pts {
-				cell.CableMean = append(cell.CableMean, 100*p.Result.CableFrac.Mean())
-				cell.CableStd = append(cell.CableStd, 100*p.Result.CableFrac.StdDev())
-				cell.NodeMean = append(cell.NodeMean, 100*p.Result.NodeFrac.Mean())
-				cell.NodeStd = append(cell.NodeStd, 100*p.Result.NodeFrac.StdDev())
-			}
-			out.Cells = append(out.Cells, cell)
+			specs = append(specs, cellSpec{spacing, net})
 		}
 	}
-	return out, nil
+	cells := make([]SweepCell, len(specs))
+	cellWorkers, inner := splitBudget(cfg.Workers, len(specs))
+	err := sim.ForEach(ctx, len(specs), cellWorkers, func(i int) error {
+		spec := specs[i]
+		simCfg := sim.Config{
+			SpacingKm: spec.spacing,
+			Trials:    cfg.Trials,
+			Seed:      cfg.Seed ^ uint64(spec.spacing),
+			Workers:   inner,
+			Model:     failure.Uniform{P: 0},
+		}
+		pts, err := sim.SweepUniform(ctx, spec.net, simCfg, probs)
+		if err != nil {
+			return err
+		}
+		cell := SweepCell{Network: spec.net.Name, SpacingKm: spec.spacing, Probs: probs}
+		for _, p := range pts {
+			cell.CableMean = append(cell.CableMean, 100*p.Result.CableFrac.Mean())
+			cell.CableStd = append(cell.CableStd, 100*p.Result.CableFrac.StdDev())
+			cell.NodeMean = append(cell.NodeMean, 100*p.Result.NodeFrac.Mean())
+			cell.NodeStd = append(cell.NodeStd, 100*p.Result.NodeFrac.StdDev())
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig67Result{Cells: cells}, nil
+}
+
+// splitBudget divides a worker budget (0 = GOMAXPROCS) between an outer
+// grid of n independent tasks and the inner parallelism each task may use,
+// keeping the total roughly at the budget.
+func splitBudget(workers, n int) (outer, inner int) {
+	budget := workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	outer = budget
+	if outer > n {
+		outer = n
+	}
+	inner = 1
+	if outer > 0 && budget/outer > 1 {
+		inner = budget / outer
+	}
+	return outer, inner
 }
 
 // Cell returns the sweep for a network and spacing, or nil.
@@ -298,38 +335,55 @@ type Fig8Result struct {
 }
 
 // Fig8 runs the S1/S2 analysis on the submarine and Intertubes networks
-// (the ITU network lacks coordinates, as in the paper).
+// (the ITU network lacks coordinates, as in the paper). The twelve
+// state×spacing×network runs are independently seeded, so they fan out
+// across the cfg.Workers budget; row order matches the serial loop.
 func Fig8(ctx context.Context, w *dataset.World, cfg Config) (*Fig8Result, error) {
 	models := []failure.LatitudeTiered{failure.S1(), failure.S2()}
 	states := []string{"S1", "S2"}
 	nets := []*topology.Network{w.Submarine, w.Intertubes}
-	out := &Fig8Result{}
-	for mi, m := range models {
+	type runSpec struct {
+		mi      int
+		spacing float64
+		net     *topology.Network
+	}
+	var specs []runSpec
+	for mi := range models {
 		for _, spacing := range sim.DefaultSpacings() {
 			for _, net := range nets {
-				res, err := sim.Run(ctx, net, sim.Config{
-					Model:     m,
-					SpacingKm: spacing,
-					Trials:    cfg.Trials,
-					Seed:      cfg.Seed ^ (uint64(mi+1) << 32) ^ uint64(spacing),
-					Workers:   cfg.Workers,
-				})
-				if err != nil {
-					return nil, err
-				}
-				out.Rows = append(out.Rows, Fig8Row{
-					State:     states[mi],
-					SpacingKm: spacing,
-					Network:   net.Name,
-					CablePct:  100 * res.CableFrac.Mean(),
-					CableStd:  100 * res.CableFrac.StdDev(),
-					NodePct:   100 * res.NodeFrac.Mean(),
-					NodeStd:   100 * res.NodeFrac.StdDev(),
-				})
+				specs = append(specs, runSpec{mi, spacing, net})
 			}
 		}
 	}
-	return out, nil
+	rows := make([]Fig8Row, len(specs))
+	outer, inner := splitBudget(cfg.Workers, len(specs))
+	err := sim.ForEach(ctx, len(specs), outer, func(i int) error {
+		spec := specs[i]
+		res, err := sim.Run(ctx, spec.net, sim.Config{
+			Model:     models[spec.mi],
+			SpacingKm: spec.spacing,
+			Trials:    cfg.Trials,
+			Seed:      cfg.Seed ^ (uint64(spec.mi+1) << 32) ^ uint64(spec.spacing),
+			Workers:   inner,
+		})
+		if err != nil {
+			return err
+		}
+		rows[i] = Fig8Row{
+			State:     states[spec.mi],
+			SpacingKm: spec.spacing,
+			Network:   spec.net.Name,
+			CablePct:  100 * res.CableFrac.Mean(),
+			CableStd:  100 * res.CableFrac.StdDev(),
+			NodePct:   100 * res.NodeFrac.Mean(),
+			NodeStd:   100 * res.NodeFrac.StdDev(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{Rows: rows}, nil
 }
 
 // Row returns the row for (state, spacing, network), or nil.

@@ -1,0 +1,147 @@
+package failure
+
+import (
+	"gicnet/internal/topology"
+	"gicnet/internal/xrand"
+)
+
+// Plan is a failure model compiled against one (network, model, spacing)
+// triple. CableDeathProb walks cable geometry and calls math.Pow per query;
+// inside a Monte Carlo run those inputs are constant, so the plan
+// precomputes every per-cable death probability, the repeater counts, and
+// the node→cable incidence needed to score a trial. Sampling and
+// evaluating a trial through a Plan allocates nothing.
+//
+// A Plan is immutable after Compile and safe for concurrent use; workers
+// need only their own dead-mask scratch slice and RNG.
+type Plan struct {
+	net       *topology.Network
+	modelName string
+	spacingKm float64
+
+	deathProb []float64 // per cable: 1-(1-p)^r, clamped to [0,1]
+	repeaters []int     // per cable: repeater count at spacingKm
+
+	// Node→cable incidence (shared with the network's cache) and the
+	// connected-node denominator for NodeFrac.
+	incStart  []int32
+	incList   []int32
+	connected int
+}
+
+// Compile precomputes a simulation plan. It validates the spacing and
+// resolves every per-cable probability exactly as CableDeathProb would, so
+// plan-based sampling is bit-identical to the per-trial path.
+func Compile(net *topology.Network, m Model, spacingKm float64) (*Plan, error) {
+	if spacingKm <= 0 {
+		return nil, ErrBadSpacing
+	}
+	p := &Plan{
+		net:       net,
+		modelName: m.Name(),
+		spacingKm: spacingKm,
+		deathProb: make([]float64, len(net.Cables)),
+		repeaters: make([]int, len(net.Cables)),
+		connected: net.ConnectedNodeCount(),
+	}
+	p.incStart, p.incList = net.CableIncidence()
+	for ci := range net.Cables {
+		prob, err := CableDeathProb(net, m, spacingKm, ci)
+		if err != nil {
+			return nil, err
+		}
+		p.deathProb[ci] = prob
+		p.repeaters[ci] = net.Cables[ci].RepeaterCount(spacingKm)
+	}
+	return p, nil
+}
+
+// Network returns the network the plan was compiled for.
+func (p *Plan) Network() *topology.Network { return p.net }
+
+// ModelName returns the compiled model's report name.
+func (p *Plan) ModelName() string { return p.modelName }
+
+// SpacingKm returns the compiled inter-repeater spacing.
+func (p *Plan) SpacingKm() float64 { return p.spacingKm }
+
+// NumCables returns the cable count, the length SampleInto expects.
+func (p *Plan) NumCables() int { return len(p.deathProb) }
+
+// DeathProb returns the precomputed death probability of cable ci.
+func (p *Plan) DeathProb(ci int) float64 { return p.deathProb[ci] }
+
+// RepeaterCount returns the precomputed repeater count of cable ci.
+func (p *Plan) RepeaterCount(ci int) int { return p.repeaters[ci] }
+
+// SampleInto draws one realisation of cable deaths into dead, which must
+// have length NumCables. The RNG consumption matches SampleCableDeaths
+// draw for draw (cables with probability 0 or 1 consume nothing), so a
+// given seed yields the same realisation on either path.
+func (p *Plan) SampleInto(dead []bool, rng *xrand.Source) {
+	if len(p.deathProb) == 0 {
+		return
+	}
+	_ = dead[len(p.deathProb)-1] // one bounds check, not NumCables
+	for ci, prob := range p.deathProb {
+		dead[ci] = rng.Bool(prob)
+	}
+}
+
+// Sample is SampleInto with a freshly allocated mask.
+func (p *Plan) Sample(rng *xrand.Source) []bool {
+	dead := make([]bool, p.NumCables())
+	p.SampleInto(dead, rng)
+	return dead
+}
+
+// Evaluate scores a cable-death vector without touching the graph
+// projection or allocating: node unreachability reduces to "all incident
+// cables dead" over the compiled incidence lists.
+func (p *Plan) Evaluate(dead []bool) Outcome {
+	failed := 0
+	for _, d := range dead {
+		if d {
+			failed++
+		}
+	}
+	unreachable := 0
+	start, list := p.incStart, p.incList
+	for i := 0; i+1 < len(start); i++ {
+		s, e := start[i], start[i+1]
+		if s == e {
+			continue // never connected, never counted
+		}
+		alive := false
+		for _, ci := range list[s:e] {
+			if !dead[ci] {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			unreachable++
+		}
+	}
+	out := Outcome{CablesFailed: failed, NodesUnreachable: unreachable}
+	if len(dead) > 0 {
+		out.CableFrac = float64(failed) / float64(len(dead))
+	}
+	if p.connected > 0 {
+		out.NodeFrac = float64(unreachable) / float64(p.connected)
+	}
+	return out
+}
+
+// ExpectedCableFrac is the analytic mean of the compiled probabilities —
+// the plan-level equivalent of the package function.
+func (p *Plan) ExpectedCableFrac() float64 {
+	if len(p.deathProb) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, prob := range p.deathProb {
+		total += prob
+	}
+	return total / float64(len(p.deathProb))
+}

@@ -1,0 +1,152 @@
+package failure
+
+import (
+	"reflect"
+	"testing"
+
+	"gicnet/internal/geo"
+	"gicnet/internal/topology"
+	"gicnet/internal/xrand"
+)
+
+func planNet() *topology.Network {
+	nodes := []topology.Node{
+		{Name: "a", Coord: geo.Coord{Lat: 65, Lon: 0}, HasCoord: true},
+		{Name: "b", Coord: geo.Coord{Lat: 50, Lon: 10}, HasCoord: true},
+		{Name: "c", Coord: geo.Coord{Lat: 30, Lon: 20}, HasCoord: true},
+		{Name: "d", Coord: geo.Coord{Lat: 10, Lon: 30}, HasCoord: true},
+		{Name: "lonely"},
+	}
+	cables := []topology.Cable{
+		{Name: "ab", Segments: []topology.Segment{{A: 0, B: 1, LengthKm: 2000}}, KnownLength: true},
+		{Name: "bc", Segments: []topology.Segment{{A: 1, B: 2, LengthKm: 3000}}, KnownLength: true},
+		{Name: "cd", Segments: []topology.Segment{{A: 2, B: 3, LengthKm: 800}}, KnownLength: true},
+		{Name: "ad", Segments: []topology.Segment{{A: 0, B: 3, LengthKm: 9000}, {A: 3, B: 1, LengthKm: 500}}, KnownLength: true},
+		{Name: "short", Segments: []topology.Segment{{A: 2, B: 3, LengthKm: 40}}, KnownLength: true},
+	}
+	return &topology.Network{Name: "plan-t", Nodes: nodes, Cables: cables}
+}
+
+func TestCompileRejectsBadSpacing(t *testing.T) {
+	if _, err := Compile(planNet(), Uniform{P: 0.5}, 0); err != ErrBadSpacing {
+		t.Fatalf("Compile spacing=0: err=%v, want ErrBadSpacing", err)
+	}
+}
+
+func TestPlanMatchesCableDeathProb(t *testing.T) {
+	n := planNet()
+	for _, m := range []Model{Uniform{P: 0.3}, S1(), S2(), S1Path()} {
+		plan, err := Compile(n, m, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.NumCables() != len(n.Cables) {
+			t.Fatalf("NumCables = %d, want %d", plan.NumCables(), len(n.Cables))
+		}
+		for ci := range n.Cables {
+			want, err := CableDeathProb(n, m, 150, ci)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := plan.DeathProb(ci); got != want {
+				t.Errorf("%s cable %d: plan prob %v, CableDeathProb %v", m.Name(), ci, got, want)
+			}
+			if got, want := plan.RepeaterCount(ci), n.Cables[ci].RepeaterCount(150); got != want {
+				t.Errorf("cable %d: plan repeaters %d, want %d", ci, got, want)
+			}
+		}
+	}
+}
+
+// TestPlanSamplingMatchesPerTrialPath is the plan-vs-reference half of the
+// bit-reproducibility contract: for the same seed, SampleInto must consume
+// the RNG draw for draw like SampleCableDeaths, and Evaluate must score the
+// realisation like the Evaluate package function.
+func TestPlanSamplingMatchesPerTrialPath(t *testing.T) {
+	n := planNet()
+	for _, m := range []Model{Uniform{P: 0.2}, Uniform{P: 0}, Uniform{P: 1}, S1(), S2()} {
+		plan, err := Compile(n, m, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead := make([]bool, plan.NumCables())
+		for trial := uint64(0); trial < 200; trial++ {
+			root := xrand.New(99)
+			rngRef := root.Split(trial)
+			want, err := SampleCableDeaths(n, m, 150, rngRef)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := root.SplitAt(trial)
+			plan.SampleInto(dead, &rng)
+			if !reflect.DeepEqual(dead, want) {
+				t.Fatalf("%s trial %d: plan sample %v, reference %v", m.Name(), trial, dead, want)
+			}
+			if got, want := plan.Evaluate(dead), Evaluate(n, dead); got != want {
+				t.Fatalf("%s trial %d: plan outcome %+v, reference %+v", m.Name(), trial, got, want)
+			}
+		}
+	}
+}
+
+func TestPlanExpectedCableFrac(t *testing.T) {
+	n := planNet()
+	plan, err := Compile(n, S1(), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExpectedCableFrac(n, S1(), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.ExpectedCableFrac(); got != want {
+		t.Errorf("plan ExpectedCableFrac %v, package %v", got, want)
+	}
+}
+
+func TestPlanMetadata(t *testing.T) {
+	n := planNet()
+	plan, err := Compile(n, S2(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Network() != n || plan.ModelName() != "S2(low)" || plan.SpacingKm() != 100 {
+		t.Errorf("metadata: net=%p name=%q spacing=%v", plan.Network(), plan.ModelName(), plan.SpacingKm())
+	}
+}
+
+func TestPlanEmptyNetwork(t *testing.T) {
+	n := &topology.Network{Name: "empty"}
+	plan, err := Compile(n, Uniform{P: 0.5}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(1)
+	out := plan.Evaluate(plan.Sample(rng))
+	if out != (Outcome{}) {
+		t.Errorf("empty network outcome = %+v", out)
+	}
+	if plan.ExpectedCableFrac() != 0 {
+		t.Errorf("empty network expected frac = %v", plan.ExpectedCableFrac())
+	}
+}
+
+// BenchmarkPlanTrialLoop is the allocation-regression guard for the Monte
+// Carlo hot path: sample + evaluate through a compiled plan must be
+// allocation-free in steady state.
+func BenchmarkPlanTrialLoop(b *testing.B) {
+	n := planNet()
+	plan, err := Compile(n, S1(), 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dead := make([]bool, plan.NumCables())
+	root := xrand.New(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := root.SplitAt(uint64(i))
+		plan.SampleInto(dead, &rng)
+		_ = plan.Evaluate(dead)
+	}
+}

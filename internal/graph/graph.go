@@ -125,26 +125,16 @@ func (g *Graph) Components(mask AliveMask) ([]int, int) {
 }
 
 // Reachable returns the set of nodes reachable from start via alive edges
-// (including start itself) using BFS.
+// (including start itself). It is the convenience form of Scratch.Reachable,
+// which hot paths should call directly to avoid the per-call allocations.
 func (g *Graph) Reachable(start NodeID, mask AliveMask) (map[NodeID]bool, error) {
-	if !g.validNode(start) {
-		return nil, fmt.Errorf("%w: %d", ErrBadNode, start)
+	nodes, err := g.NewScratch().Reachable(nil, start, mask)
+	if err != nil {
+		return nil, err
 	}
-	seen := map[NodeID]bool{start: true}
-	queue := []NodeID{start}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		for _, e := range g.adj[n] {
-			if !mask.Alive(e) {
-				continue
-			}
-			o := g.Other(e, n)
-			if !seen[o] {
-				seen[o] = true
-				queue = append(queue, o)
-			}
-		}
+	seen := make(map[NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		seen[n] = true
 	}
 	return seen, nil
 }

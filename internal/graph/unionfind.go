@@ -9,15 +9,29 @@ type UnionFind struct {
 
 // NewUnionFind returns n singleton sets.
 func NewUnionFind(n int) *UnionFind {
-	uf := &UnionFind{
-		parent: make([]int, n),
-		rank:   make([]byte, n),
-		sets:   n,
-	}
-	for i := range uf.parent {
-		uf.parent[i] = i
-	}
+	uf := &UnionFind{}
+	uf.Reset(n)
 	return uf
+}
+
+// Reset reinitialises the structure to n singleton sets, reusing the
+// backing arrays when they are large enough. It lets per-worker scratch
+// state run repeated component queries without allocating.
+func (u *UnionFind) Reset(n int) {
+	if cap(u.parent) >= n {
+		u.parent = u.parent[:n]
+		u.rank = u.rank[:n]
+		for i := range u.rank {
+			u.rank[i] = 0
+		}
+	} else {
+		u.parent = make([]int, n)
+		u.rank = make([]byte, n)
+	}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	u.sets = n
 }
 
 // Find returns the representative of x's set.

@@ -3,7 +3,16 @@
 // network, in parallel, with bit-reproducible results.
 //
 // Reproducibility: each trial gets an RNG split from the run seed by trial
-// index, so results do not depend on scheduling or worker count.
+// index, so results do not depend on scheduling or worker count. Sweeps
+// seed each point by index the same way, so parallel sweeps are
+// byte-identical to serial ones.
+//
+// Performance: every run compiles its failure model into a failure.Plan
+// once, and each worker reuses one dead-mask scratch slice, so the
+// steady-state trial loop performs zero allocations. Trials are dispatched
+// by an atomic counter rather than a feeder channel — there is no feeder
+// goroutine to deadlock when workers stop early, and an error (now only
+// possible at compile/validate time) can never strand a blocked send.
 package sim
 
 import (
@@ -12,6 +21,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gicnet/internal/failure"
 	"gicnet/internal/stats"
@@ -72,6 +82,21 @@ func Run(ctx context.Context, net *topology.Network, cfg Config) (*Result, error
 	if err := net.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: invalid network: %w", err)
 	}
+	plan, err := failure.Compile(net, cfg.Model, cfg.SpacingKm)
+	if err != nil {
+		return nil, err
+	}
+	return RunPlan(ctx, plan, cfg)
+}
+
+// RunPlan executes the trials of cfg against an already-compiled plan.
+// cfg.Model and cfg.SpacingKm are ignored; the plan's own model and
+// spacing identify the run. Callers that sweep many seeds over one
+// (network, model, spacing) triple should compile once and call RunPlan.
+func RunPlan(ctx context.Context, plan *failure.Plan, cfg Config) (*Result, error) {
+	if cfg.Trials <= 0 {
+		return nil, errors.New("sim: trials must be positive")
+	}
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -81,56 +106,52 @@ func Run(ctx context.Context, net *topology.Network, cfg Config) (*Result, error
 		workers = cfg.Trials
 	}
 
-	// Build the graph projection once, before the fan-out, so concurrent
-	// trials never race on the lazy cache.
-	net.Graph()
-
 	root := xrand.New(cfg.Seed)
 	outcomes := make([]failure.Outcome, cfg.Trials)
-	errs := make([]error, workers)
 
-	var wg sync.WaitGroup
-	trialCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for ti := range trialCh {
-				rng := root.Split(uint64(ti))
-				dead, err := failure.SampleCableDeaths(net, cfg.Model, cfg.SpacingKm, rng)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				outcomes[ti] = failure.Evaluate(net, dead)
+	runTrial := func(dead []bool, ti int) {
+		rng := root.SplitAt(uint64(ti))
+		plan.SampleInto(dead, &rng)
+		outcomes[ti] = plan.Evaluate(dead)
+	}
+
+	if workers == 1 {
+		dead := make([]bool, plan.NumCables())
+		for ti := 0; ti < cfg.Trials; ti++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-		}(w)
-	}
-
-feed:
-	for ti := 0; ti < cfg.Trials; ti++ {
-		select {
-		case <-ctx.Done():
-			break feed
-		case trialCh <- ti:
+			runTrial(dead, ti)
 		}
-	}
-	close(trialCh)
-	wg.Wait()
-
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	for _, err := range errs {
-		if err != nil {
+	} else {
+		// Workers claim trial indices from an atomic counter; each owns a
+		// reusable dead mask, so the loop allocates nothing per trial.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dead := make([]bool, plan.NumCables())
+				for {
+					ti := int(next.Add(1)) - 1
+					if ti >= cfg.Trials || ctx.Err() != nil {
+						return
+					}
+					runTrial(dead, ti)
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
 
 	res := &Result{
-		Network:   net.Name,
-		Model:     cfg.Model.Name(),
-		SpacingKm: cfg.SpacingKm,
+		Network:   plan.Network().Name,
+		Model:     plan.ModelName(),
+		SpacingKm: plan.SpacingKm(),
 		Outcomes:  outcomes,
 	}
 	for _, o := range outcomes {
@@ -138,6 +159,66 @@ feed:
 		res.NodeFrac.Add(o.NodeFrac)
 	}
 	return res, nil
+}
+
+// ForEach runs fn(0), ..., fn(n-1) across at most workers goroutines
+// (0 means GOMAXPROCS) and returns the lowest-indexed error, if any. It is
+// the fan-out primitive behind parallel sweeps and experiment grids: tasks
+// claim indices from an atomic counter, and a failed task stops further
+// dispatch. fn must be safe to call concurrently and should write results
+// into its own index of a pre-sized slice.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() || ctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SweepPoint is one (probability, result) pair of a probability sweep.
@@ -148,20 +229,44 @@ type SweepPoint struct {
 
 // SweepUniform runs one simulation per probability in ps with a uniform
 // model — the x-axis sweep of the paper's Figures 6 and 7. Each point uses
-// a seed split from cfg.Seed by index so points are independent but the
-// whole sweep is reproducible.
+// a seed split from cfg.Seed by index, so points are independent, the
+// whole sweep is reproducible, and the parallel execution below is
+// byte-identical to running the points serially.
+//
+// The cfg.Workers budget (0 = GOMAXPROCS) is shared across the sweep:
+// points fan out first, and any budget beyond the point count parallelises
+// trials within each point.
 func SweepUniform(ctx context.Context, net *topology.Network, cfg Config, ps []float64) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(ps))
+	out := make([]SweepPoint, len(ps))
 	root := xrand.New(cfg.Seed)
-	for i, p := range ps {
+	budget := cfg.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	pointWorkers := budget
+	if pointWorkers > len(ps) {
+		pointWorkers = len(ps)
+	}
+	err := ForEach(ctx, len(ps), pointWorkers, func(i int) error {
 		c := cfg
-		c.Model = failure.Uniform{P: p}
-		c.Seed = root.Split(uint64(i)).Uint64()
+		c.Model = failure.Uniform{P: ps[i]}
+		child := root.SplitAt(uint64(i))
+		c.Seed = child.Uint64()
+		if pointWorkers > 0 {
+			c.Workers = budget / pointWorkers
+		}
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
 		r, err := Run(ctx, net, c)
 		if err != nil {
-			return nil, fmt.Errorf("sweep p=%g: %w", p, err)
+			return fmt.Errorf("sweep p=%g: %w", ps[i], err)
 		}
-		out = append(out, SweepPoint{P: p, Result: r})
+		out[i] = SweepPoint{P: ps[i], Result: r}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -2,13 +2,18 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"math"
 	"reflect"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"gicnet/internal/failure"
 	"gicnet/internal/geo"
 	"gicnet/internal/topology"
+	"gicnet/internal/xrand"
 )
 
 func testNet() *topology.Network {
@@ -211,5 +216,149 @@ func TestRunMoreWorkersThanTrials(t *testing.T) {
 	cfg := Config{Model: failure.Uniform{P: 0.5}, SpacingKm: 150, Trials: 2, Seed: 1, Workers: 64}
 	if _, err := Run(ctx, testNet(), cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunBitReproducibleAcrossWorkerBudgets is the reproducibility
+// acceptance test: identical Outcomes for Workers in {1, 4, GOMAXPROCS}.
+func TestRunBitReproducibleAcrossWorkerBudgets(t *testing.T) {
+	ctx := context.Background()
+	base := Config{Model: failure.S1(), SpacingKm: 100, Trials: 97, Seed: 1234}
+	var ref []failure.Outcome
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		cfg := base
+		cfg.Workers = workers
+		r, err := Run(ctx, testNet(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = r.Outcomes
+			continue
+		}
+		if !reflect.DeepEqual(r.Outcomes, ref) {
+			t.Fatalf("Workers=%d: outcomes differ from Workers=1", workers)
+		}
+	}
+}
+
+// TestRunPlanMatchesRun verifies that compiling once and calling RunPlan
+// repeatedly is bit-identical to the Run convenience path.
+func TestRunPlanMatchesRun(t *testing.T) {
+	ctx := context.Background()
+	n := testNet()
+	cfg := Config{Model: failure.S2(), SpacingKm: 150, Trials: 40, Seed: 8, Workers: 2}
+	want, err := Run(ctx, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := failure.Compile(n, cfg.Model, cfg.SpacingKm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunPlan(ctx, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RunPlan result differs from Run:\n got %+v\nwant %+v", got, want)
+	}
+	if _, err := RunPlan(ctx, plan, Config{Trials: 0}); err == nil {
+		t.Error("RunPlan with zero trials must error")
+	}
+}
+
+// TestSweepUniformParallelMatchesSerial asserts the parallel sweep is
+// byte-identical to running each point serially with the same derived
+// seeds, for several worker budgets.
+func TestSweepUniformParallelMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	n := testNet()
+	ps := []float64{0.001, 0.01, 0.1, 0.5, 1}
+	cfg := Config{SpacingKm: 150, Trials: 30, Seed: 77, Model: failure.Uniform{P: 0}}
+
+	// Serial reference: the pre-parallelism SweepUniform loop, inlined.
+	root := xrand.New(cfg.Seed)
+	var want []SweepPoint
+	for i, p := range ps {
+		c := cfg
+		c.Model = failure.Uniform{P: p}
+		c.Seed = root.Split(uint64(i)).Uint64()
+		c.Workers = 1
+		r, err := Run(ctx, n, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, SweepPoint{P: p, Result: r})
+	}
+
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		c := cfg
+		c.Workers = workers
+		got, err := SweepUniform(ctx, n, c, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Workers=%d: parallel sweep differs from serial reference", workers)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	ctx := context.Background()
+	for _, workers := range []int{0, 1, 3, 16} {
+		var hits [50]atomic.Int64
+		if err := ForEach(ctx, len(hits), workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachError(t *testing.T) {
+	ctx := context.Background()
+	boom := errors.New("boom")
+	err := ForEach(ctx, 100, 4, func(i int) error {
+		if i == 13 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForEach(cancelled, 10, 4, func(int) error { return nil }); err == nil {
+		t.Error("cancelled context must surface an error")
+	}
+}
+
+// TestRunErrorDoesNotHang guards the old feeder deadlock: a Run whose
+// model compilation fails must return promptly (trial dispatch is now an
+// atomic counter, so there is no feeder send to strand). The bad spacing is
+// caught at compile time, before any worker spawns.
+func TestRunErrorDoesNotHang(t *testing.T) {
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, testNet(), Config{Model: failure.Uniform{P: 0.5}, SpacingKm: -1, Trials: 100000, Workers: 4})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("bad spacing must error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run hung on error path")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"gicnet/internal/geo"
 	"gicnet/internal/graph"
@@ -68,13 +69,31 @@ func (c *Cable) RepeaterCount(spacingKm float64) int {
 }
 
 // Network is a named set of nodes and cables.
+//
+// Derived views (graph projection, node-cable incidence, latitude bands)
+// are computed once on first use and cached. The caches are guarded by
+// sync.Once, so concurrent simulations may share one Network — but the
+// Nodes/Cables slices must not be mutated after the first derived query.
 type Network struct {
 	Name   string
 	Nodes  []Node
 	Cables []Cable
 
+	graphOnce sync.Once
 	g         *graph.Graph
 	edgeCable []int // graph edge id -> cable index
+
+	incOnce        sync.Once
+	nodeCableStart []int32 // CSR offsets: node i's cables are nodeCables[start[i]:start[i+1]]
+	nodeCables     []int32 // distinct incident cable indices, grouped by node
+	connectedCount int     // nodes with at least one incident cable
+
+	bandOnce     sync.Once
+	bands        []geo.Band
+	bandOK       []bool
+	pathBandOnce sync.Once
+	pathBands    []geo.Band
+	pathBandOK   []bool
 }
 
 // Errors returned by Validate.
@@ -116,60 +135,145 @@ func (n *Network) Validate() error {
 }
 
 // Graph returns the graph projection of the network: one graph edge per
-// cable segment. The projection is built once and cached; the network must
-// not be mutated afterwards.
+// cable segment. The projection is built once and cached (safe for
+// concurrent first use); the network must not be mutated afterwards.
 func (n *Network) Graph() *graph.Graph {
-	if n.g != nil {
-		return n.g
-	}
-	g := graph.New()
-	for _, nd := range n.Nodes {
-		g.AddNode(nd.Name)
-	}
-	n.edgeCable = n.edgeCable[:0]
-	for ci, c := range n.Cables {
-		for _, s := range c.Segments {
-			g.AddEdge(graph.NodeID(s.A), graph.NodeID(s.B))
-			n.edgeCable = append(n.edgeCable, ci)
+	n.graphOnce.Do(func() {
+		g := graph.New()
+		for _, nd := range n.Nodes {
+			g.AddNode(nd.Name)
 		}
-	}
-	n.g = g
-	return g
+		n.edgeCable = nil
+		for ci, c := range n.Cables {
+			for _, s := range c.Segments {
+				g.AddEdge(graph.NodeID(s.A), graph.NodeID(s.B))
+				n.edgeCable = append(n.edgeCable, ci)
+			}
+		}
+		n.g = g
+	})
+	return n.g
 }
 
 // AliveMask projects per-cable death onto graph edges: every segment of a
 // dead cable is dead.
 func (n *Network) AliveMask(cableDead []bool) graph.AliveMask {
+	return n.AliveMaskInto(nil, cableDead)
+}
+
+// AliveMaskInto is AliveMask writing into dst (grown if needed), so per-
+// worker scratch can project cable deaths without allocating per trial.
+func (n *Network) AliveMaskInto(dst graph.AliveMask, cableDead []bool) graph.AliveMask {
 	g := n.Graph()
-	mask := make(graph.AliveMask, g.NumEdges())
-	for e := range mask {
-		mask[e] = !cableDead[n.edgeCable[e]]
+	if cap(dst) < g.NumEdges() {
+		dst = make(graph.AliveMask, g.NumEdges())
 	}
-	return mask
+	dst = dst[:g.NumEdges()]
+	for e := range dst {
+		dst[e] = !cableDead[n.edgeCable[e]]
+	}
+	return dst
+}
+
+// CableIncidence returns the CSR mapping from each node to its distinct
+// incident cable indices: node i's cables are list[start[i]:start[i+1]].
+// Built once and cached; the returned slices are shared and must not be
+// modified.
+func (n *Network) CableIncidence() (start, list []int32) {
+	n.incOnce.Do(n.buildIncidence)
+	return n.nodeCableStart, n.nodeCables
+}
+
+func (n *Network) buildIncidence() {
+	nn := len(n.Nodes)
+	// Dedupe by remembering, per node, the last cable that touched it:
+	// each cable's segments are visited contiguously, so one slot suffices.
+	last := make([]int, nn)
+	counts := make([]int32, nn+1)
+	for pass := 0; pass < 2; pass++ {
+		for i := range last {
+			last[i] = -1
+		}
+		for ci, c := range n.Cables {
+			for _, s := range c.Segments {
+				for _, ni := range [2]int{s.A, s.B} {
+					if last[ni] == ci {
+						continue
+					}
+					last[ni] = ci
+					if pass == 0 {
+						counts[ni+1]++
+					} else {
+						n.nodeCables[counts[ni]] = int32(ci)
+						counts[ni]++
+					}
+				}
+			}
+		}
+		if pass == 0 {
+			for i := 1; i <= nn; i++ {
+				counts[i] += counts[i-1]
+			}
+			n.nodeCableStart = append([]int32(nil), counts...)
+			n.nodeCables = make([]int32, counts[nn])
+		}
+	}
+	n.connectedCount = 0
+	for i := 0; i < nn; i++ {
+		if n.nodeCableStart[i+1] > n.nodeCableStart[i] {
+			n.connectedCount++
+		}
+	}
 }
 
 // UnreachableNodes returns the indices of nodes whose incident cables are
 // all dead — the paper's per-node failure criterion (§4.3.1). Nodes that
 // had no cables at all are never counted.
 func (n *Network) UnreachableNodes(cableDead []bool) []int {
-	iso := n.Graph().Isolated(n.AliveMask(cableDead))
-	out := make([]int, len(iso))
-	for i, id := range iso {
-		out[i] = int(id)
+	start, list := n.CableIncidence()
+	var out []int
+	for i := 0; i < len(n.Nodes); i++ {
+		if n.nodeAlive(start, list, i, cableDead) {
+			continue
+		}
+		out = append(out, i)
 	}
 	return out
 }
 
-// ConnectedNodeCount returns the number of nodes with at least one cable.
-func (n *Network) ConnectedNodeCount() int {
-	g := n.Graph()
+// CountUnreachable is UnreachableNodes without materialising the index
+// slice — the Monte Carlo trial loop only needs the count.
+func (n *Network) CountUnreachable(cableDead []bool) int {
+	start, list := n.CableIncidence()
 	count := 0
-	for i := 0; i < g.NumNodes(); i++ {
-		if g.Degree(graph.NodeID(i)) > 0 {
+	for i := 0; i < len(n.Nodes); i++ {
+		if !n.nodeAlive(start, list, i, cableDead) {
 			count++
 		}
 	}
 	return count
+}
+
+// nodeAlive reports whether node i has at least one live incident cable.
+// Nodes with no cables at all count as alive: they were never connected.
+func (n *Network) nodeAlive(start, list []int32, i int, cableDead []bool) bool {
+	s, e := start[i], start[i+1]
+	if s == e {
+		return true
+	}
+	for _, ci := range list[s:e] {
+		if !cableDead[ci] {
+			return true
+		}
+	}
+	return false
+}
+
+// ConnectedNodeCount returns the number of nodes with at least one cable.
+// Computed once and cached.
+func (n *Network) ConnectedNodeCount() int {
+	n.incOnce.Do(n.buildIncidence)
+	return n.connectedCount
 }
 
 // MaxAbsLatEndpoint returns the highest absolute latitude among the cable's
@@ -194,13 +298,19 @@ func (n *Network) MaxAbsLatEndpoint(ci int) (float64, bool) {
 
 // CableBand returns the latitude risk band of cable ci per the paper's
 // rule (band of the highest-latitude endpoint). Networks without
-// coordinates report BandLow and false.
+// coordinates report BandLow and false. Bands for all cables are computed
+// once on first query and cached.
 func (n *Network) CableBand(ci int) (geo.Band, bool) {
-	l, ok := n.MaxAbsLatEndpoint(ci)
-	if !ok {
-		return geo.BandLow, false
-	}
-	return geo.BandOf(l), true
+	n.bandOnce.Do(func() {
+		n.bands = make([]geo.Band, len(n.Cables))
+		n.bandOK = make([]bool, len(n.Cables))
+		for i := range n.Cables {
+			if l, ok := n.MaxAbsLatEndpoint(i); ok {
+				n.bands[i], n.bandOK[i] = geo.BandOf(l), true
+			}
+		}
+	})
+	return n.bands[ci], n.bandOK[ci]
 }
 
 // MaxAbsLatPath returns the highest absolute latitude reached along the
@@ -226,13 +336,19 @@ func (n *Network) MaxAbsLatPath(ci int) (float64, bool) {
 }
 
 // CableBandByPath returns the latitude risk band of the cable's full
-// great-circle path.
+// great-circle path. The path maxima involve spherical trig per segment,
+// so bands for all cables are computed once on first query and cached.
 func (n *Network) CableBandByPath(ci int) (geo.Band, bool) {
-	l, ok := n.MaxAbsLatPath(ci)
-	if !ok {
-		return geo.BandLow, false
-	}
-	return geo.BandOf(l), true
+	n.pathBandOnce.Do(func() {
+		n.pathBands = make([]geo.Band, len(n.Cables))
+		n.pathBandOK = make([]bool, len(n.Cables))
+		for i := range n.Cables {
+			if l, ok := n.MaxAbsLatPath(i); ok {
+				n.pathBands[i], n.pathBandOK[i] = geo.BandOf(l), true
+			}
+		}
+	})
+	return n.pathBands[ci], n.pathBandOK[ci]
 }
 
 // EndpointCoords returns the coordinates of all nodes that have them.

@@ -3,6 +3,7 @@ package topology
 import (
 	"errors"
 	"math"
+	"sync"
 	"testing"
 
 	"gicnet/internal/geo"
@@ -309,5 +310,93 @@ func TestOneHopMonotoneInThreshold(t *testing.T) {
 			t.Errorf("one-hop set grew as threshold rose at %v", th)
 		}
 		prev = got
+	}
+}
+
+func TestCableIncidence(t *testing.T) {
+	n := testNetwork()
+	start, list := n.CableIncidence()
+	if len(start) != len(n.Nodes)+1 {
+		t.Fatalf("start length %d, want %d", len(start), len(n.Nodes)+1)
+	}
+	// Rebuild the incidence naively and compare sets per node.
+	want := make([]map[int32]bool, len(n.Nodes))
+	for i := range want {
+		want[i] = map[int32]bool{}
+	}
+	for ci, c := range n.Cables {
+		for _, s := range c.Segments {
+			want[s.A][int32(ci)] = true
+			want[s.B][int32(ci)] = true
+		}
+	}
+	for i := range n.Nodes {
+		got := list[start[i]:start[i+1]]
+		if len(got) != len(want[i]) {
+			t.Fatalf("node %d: %d incident cables, want %d", i, len(got), len(want[i]))
+		}
+		for _, ci := range got {
+			if !want[i][ci] {
+				t.Fatalf("node %d: unexpected incident cable %d", i, ci)
+			}
+		}
+	}
+}
+
+func TestCountUnreachableMatchesUnreachableNodes(t *testing.T) {
+	n := testNetwork()
+	masks := [][]bool{
+		make([]bool, len(n.Cables)),
+		{true, false, false},
+		{true, true, false},
+		{true, true, true},
+	}
+	for _, dead := range masks {
+		if len(dead) != len(n.Cables) {
+			continue
+		}
+		if got, want := n.CountUnreachable(dead), len(n.UnreachableNodes(dead)); got != want {
+			t.Errorf("dead=%v: CountUnreachable %d, len(UnreachableNodes) %d", dead, got, want)
+		}
+	}
+}
+
+// TestDerivedCachesConcurrentFirstUse drives every lazily-built cache from
+// many goroutines at once; run under -race this verifies the sync.Once
+// guards that parallel sweeps rely on.
+func TestDerivedCachesConcurrentFirstUse(t *testing.T) {
+	n := testNetwork()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.Graph()
+			n.ConnectedNodeCount()
+			n.CableIncidence()
+			for ci := range n.Cables {
+				n.CableBand(ci)
+				n.CableBandByPath(ci)
+			}
+			n.AliveMask(make([]bool, len(n.Cables)))
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAliveMaskInto(t *testing.T) {
+	n := testNetwork()
+	dead := make([]bool, len(n.Cables))
+	dead[0] = true
+	want := n.AliveMask(dead)
+	buf := make([]bool, 0, 16)
+	got := n.AliveMaskInto(buf, dead)
+	if len(got) != len(want) {
+		t.Fatalf("mask length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("mask[%d] = %v, want %v", i, got[i], want[i])
+		}
 	}
 }

@@ -41,12 +41,20 @@ func (s *Source) Uint64() uint64 {
 // Split derives an independent child stream keyed by key. The parent stream
 // is not advanced, so the child's output depends only on (parent seed, key).
 func (s *Source) Split(key uint64) *Source {
+	child := s.SplitAt(key)
+	return &child
+}
+
+// SplitAt is Split returning the child by value, so hot loops (one child
+// per Monte Carlo trial) can keep it on the stack and allocate nothing.
+// The stream is identical to Split(key)'s.
+func (s *Source) SplitAt(key uint64) Source {
 	// Mix the parent state with the key through one SplitMix64 round each
 	// so children with adjacent keys are decorrelated.
 	z := s.state + golden*(2*key+1)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return &Source{state: z ^ (z >> 31)}
+	return Source{state: z ^ (z >> 31)}
 }
 
 // Float64 returns a uniform float64 in [0, 1).

@@ -307,3 +307,29 @@ func BenchmarkIntn(b *testing.B) {
 		s.Intn(1000)
 	}
 }
+
+func TestSplitAtMatchesSplit(t *testing.T) {
+	root := New(42)
+	for key := uint64(0); key < 100; key++ {
+		byPtr := root.Split(key)
+		byVal := root.SplitAt(key)
+		for i := 0; i < 8; i++ {
+			if a, b := byPtr.Uint64(), byVal.Uint64(); a != b {
+				t.Fatalf("key %d draw %d: Split %d, SplitAt %d", key, i, a, b)
+			}
+		}
+	}
+}
+
+func TestSplitAtDoesNotAllocate(t *testing.T) {
+	root := New(1)
+	sink := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		child := root.SplitAt(7)
+		sink += child.Uint64()
+	})
+	if allocs != 0 {
+		t.Errorf("SplitAt allocates %v/op, want 0", allocs)
+	}
+	_ = sink
+}
