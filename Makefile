@@ -1,10 +1,14 @@
 # Build / verify targets. `make verify` is the PR gate: tier-1 build+test
-# plus static vetting and a race-detector pass over the concurrent engine
-# (the sim worker pool, parallel sweeps, and the failure plan layer).
+# plus static vetting, a race-detector pass over the concurrent engine
+# (the sim worker pool, parallel sweeps, and the failure plan layer), the
+# statistical verification suite (golden regression + model invariants +
+# deterministic replay), and a short fuzz smoke over the IO parser and
+# plan compiler.
 
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: all build test vet race verify bench bench-snapshot
+.PHONY: all build test vet race verify validate update-golden fuzz-smoke bench bench-snapshot
 
 all: verify
 
@@ -23,7 +27,25 @@ vet:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/failure/... ./internal/topology/... ./internal/graph/...
 
-verify: vet test race
+verify: vet test race validate fuzz-smoke
+
+# Statistical verification: diff every reproduce output against the
+# checked-in golden snapshot, check model invariants, and prove replay
+# is byte-identical across worker counts (see internal/verify).
+validate:
+	$(GO) run ./cmd/validate
+
+# Recapture the golden snapshot after an intended model change. Review
+# the resulting diff of internal/verify/goldens/reproduce.json before
+# committing it — every changed number is a deliberate output change.
+update-golden:
+	$(GO) run ./cmd/validate -update
+
+# Short fuzz runs over the network-JSON parser and the failure-plan
+# compiler; each also replays its checked-in seed corpus.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadNetworkJSON$$' -fuzztime $(FUZZTIME) ./internal/dataset
+	$(GO) test -run '^$$' -fuzz '^FuzzPlanCompile$$' -fuzztime $(FUZZTIME) ./internal/failure
 
 # Quick hot-path benchmarks with allocation counts.
 bench:

@@ -32,6 +32,9 @@ import (
 
 func benchWorld(b *testing.B) *dataset.World {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("end-to-end figure benchmarks skipped in short mode")
+	}
 	w, err := dataset.Default()
 	if err != nil {
 		b.Fatal(err)
@@ -323,6 +326,9 @@ func BenchmarkAblationSimWorkers(b *testing.B) {
 
 // Ablation: world generation cost by dataset.
 func BenchmarkWorldGeneration(b *testing.B) {
+	if testing.Short() {
+		b.Skip("world generation benchmark skipped in short mode")
+	}
 	b.Run("submarine", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := dataset.GenerateSubmarine(dataset.DefaultSubmarineConfig(), xrand.New(uint64(i))); err != nil {

@@ -19,6 +19,9 @@ func TestDefaultWorldFacade(t *testing.T) {
 }
 
 func TestNewWorldSeedsDiffer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double world generation skipped in short mode")
+	}
 	a, err := NewWorld(1)
 	if err != nil {
 		t.Fatal(err)
@@ -126,6 +129,9 @@ func TestFacadeShutdownAndSatellite(t *testing.T) {
 }
 
 func TestFacadeRecommendBridges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bridge candidate search skipped in short mode")
+	}
 	w, err := DefaultWorld()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"fmt"
+
+	"gicnet/internal/stats"
+	"gicnet/internal/topology"
+)
+
+// NetworkCalibration summarises one generated network against the
+// statistics the paper reports for its real counterpart. Every field is a
+// plain value so the struct serialises cleanly into golden snapshots.
+type NetworkCalibration struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	// Cables is the total cable count; KnownLengths counts cables with a
+	// published length (the paper's 441 of 470 for the submarine map).
+	Cables       int `json:"cables"`
+	KnownLengths int `json:"known_lengths"`
+	// MedianLengthKm and P99LengthKm are quantiles over the known lengths
+	// (paper: 775 km median, 28000 km p99 for submarine).
+	MedianLengthKm float64 `json:"median_length_km"`
+	P99LengthKm    float64 `json:"p99_length_km"`
+	MaxLengthKm    float64 `json:"max_length_km"`
+	// RepeaterlessCables counts cables needing no repeater at 150 km
+	// spacing (paper: 82 submarine), and MeanRepeaters is the average
+	// repeater count per cable at the same spacing (paper: 22.3).
+	RepeaterlessCables int     `json:"repeaterless_cables"`
+	MeanRepeaters      float64 `json:"mean_repeaters"`
+	// Fingerprint pins the full generated structure (topology.Network
+	// Fingerprint), rendered as hex so JSON stays integer-precision-safe.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Calibration bundles the per-network summaries for a world.
+type Calibration struct {
+	Seed     uint64               `json:"seed"`
+	Networks []NetworkCalibration `json:"networks"`
+}
+
+// CalibrationSpacingKm is the spacing the paper's repeater statistics are
+// quoted at.
+const CalibrationSpacingKm = 150
+
+// CalibrationStats computes the calibration summary of a world. It is the
+// dataset-side hook of the verification subsystem: golden snapshots of
+// these values catch both drifted generator constants and structural
+// changes (via the fingerprints).
+func CalibrationStats(w *World) (*Calibration, error) {
+	out := &Calibration{Seed: w.Seed}
+	for _, net := range w.Networks() {
+		nc, err := calibrateNetwork(net)
+		if err != nil {
+			return nil, err
+		}
+		out.Networks = append(out.Networks, nc)
+	}
+	return out, nil
+}
+
+func calibrateNetwork(net *topology.Network) (NetworkCalibration, error) {
+	nc := NetworkCalibration{
+		Name:               net.Name,
+		Nodes:              len(net.Nodes),
+		Cables:             len(net.Cables),
+		RepeaterlessCables: net.CablesWithoutRepeaters(CalibrationSpacingKm),
+		MeanRepeaters:      net.MeanRepeatersPerCable(CalibrationSpacingKm),
+		Fingerprint:        fmt.Sprintf("%016x", net.Fingerprint()),
+	}
+	lengths := net.CableLengths()
+	nc.KnownLengths = len(lengths)
+	if len(lengths) == 0 {
+		return nc, nil
+	}
+	var err error
+	if nc.MedianLengthKm, err = stats.Median(lengths); err != nil {
+		return NetworkCalibration{}, fmt.Errorf("dataset: %s median: %w", net.Name, err)
+	}
+	if nc.P99LengthKm, err = stats.Percentile(lengths, 99); err != nil {
+		return NetworkCalibration{}, fmt.Errorf("dataset: %s p99: %w", net.Name, err)
+	}
+	if _, nc.MaxLengthKm, err = stats.MinMax(lengths); err != nil {
+		return NetworkCalibration{}, fmt.Errorf("dataset: %s max: %w", net.Name, err)
+	}
+	return nc, nil
+}

@@ -200,6 +200,9 @@ func TestSubmarineShanghaiCablesLong(t *testing.T) {
 }
 
 func TestSubmarineDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double world generation skipped in short mode")
+	}
 	a, err := GenerateSubmarine(DefaultSubmarineConfig(), xrand.New(7))
 	if err != nil {
 		t.Fatal(err)
@@ -465,6 +468,9 @@ func TestDataCentersEmbedded(t *testing.T) {
 }
 
 func TestGenerateWorldIndependentStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double world generation skipped in short mode")
+	}
 	// Changing only the router config must not change the submarine net.
 	cfgA := DefaultWorldConfig()
 	cfgB := DefaultWorldConfig()

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"gicnet/internal/geo"
@@ -353,9 +354,27 @@ func (b *submarineBuilder) proceduralCableTouching(n int) int {
 // of domestic loops; leaving islands would distort the reachability
 // analyses.
 func (b *submarineBuilder) bridgeComponents() {
+	// Incremental nearest-pair bookkeeping. Node coordinates are fixed
+	// while bridging and the giant component only ever grows, so each
+	// non-giant node's closest bridgeable giant partner can only improve
+	// as new members join the giant. Track a running (bestD, bestJ) per
+	// node and fold in just the newly-giant nodes each round: every cross
+	// pair is visited at most once, instead of rescanning the full cross
+	// product per merge. The lexicographic tie-break below reproduces the
+	// full rescan's first-minimum selection bit for bit, so the generated
+	// world is byte-identical to the quadratic builder's.
+	nn := len(b.net.Nodes)
+	bestD := make([]float64, nn)
+	bestJ := make([]int, nn)
+	for i := range bestD {
+		bestD[i] = math.Inf(1)
+		bestJ[i] = -1
+	}
+	wasGiant := make([]bool, nn)
+	host := make([]int, nn)
 	// Each iteration merges one component; the count strictly decreases,
 	// so the loop terminates within NumNodes iterations.
-	for iter := 0; iter < len(b.net.Nodes); iter++ {
+	for iter := 0; iter < nn; iter++ {
 		labels, count := componentLabels(b.net)
 		if count <= 1 {
 			return
@@ -370,9 +389,11 @@ func (b *submarineBuilder) bridgeComponents() {
 				giant = l
 			}
 		}
-		// Precompute, per node, one procedural cable touching it; trunks
-		// must not grow, so nodes hosting only trunks are not bridgeable.
-		host := make([]int, len(b.net.Nodes))
+		// Per node, one procedural cable touching it; trunks must not
+		// grow, so nodes hosting only trunks are not bridgeable. A giant
+		// node's host can change cable but never appears after the node
+		// was folded in: segments are only ever appended at the chosen
+		// endpoints, whose hosts are already set.
 		for i := range host {
 			host[i] = -1
 		}
@@ -382,27 +403,45 @@ func (b *submarineBuilder) bridgeComponents() {
 				host[s.B] = ci
 			}
 		}
-		// Find the non-giant node closest to a bridgeable giant node.
-		bestD, bestA, bestB, bestCable := 1e18, -1, -1, -1
-		for i := range b.net.Nodes {
-			if labels[i] == giant {
+		// Fold newly-giant bridgeable nodes into every non-giant node's
+		// running minimum. Equal distances keep the smaller j, matching
+		// the ascending-scan strict-< selection of a full rescan.
+		for j := 0; j < nn; j++ {
+			if labels[j] != giant || wasGiant[j] {
 				continue
 			}
-			for j := range b.net.Nodes {
-				if labels[j] != giant || host[j] < 0 {
+			wasGiant[j] = true
+			if host[j] < 0 {
+				continue
+			}
+			cj := b.net.Nodes[j].Coord
+			for i := 0; i < nn; i++ {
+				if labels[i] == giant {
 					continue
 				}
-				d := geo.Haversine(b.net.Nodes[i].Coord, b.net.Nodes[j].Coord)
-				if d < bestD {
-					bestD, bestA, bestB, bestCable = d, i, j, host[j]
+				d := geo.Haversine(b.net.Nodes[i].Coord, cj)
+				if d < bestD[i] || (d == bestD[i] && j < bestJ[i]) {
+					bestD[i], bestJ[i] = d, j
 				}
 			}
 		}
-		if bestA < 0 {
+		// Pick the non-giant node closest to its giant partner; equal
+		// distances keep the smaller node index, as the rescan would.
+		bd, ba := math.Inf(1), -1
+		for i := 0; i < nn; i++ {
+			if labels[i] == giant || bestJ[i] < 0 {
+				continue
+			}
+			if bestD[i] < bd {
+				bd, ba = bestD[i], i
+			}
+		}
+		if ba < 0 {
 			return
 		}
-		b.net.Cables[bestCable].Segments = append(b.net.Cables[bestCable].Segments, topology.Segment{
-			A: bestB, B: bestA, LengthKm: bestD * b.cfg.DetourFactor,
+		bj := bestJ[ba]
+		b.net.Cables[host[bj]].Segments = append(b.net.Cables[host[bj]].Segments, topology.Segment{
+			A: bj, B: ba, LengthKm: bd * b.cfg.DetourFactor,
 		})
 	}
 }

@@ -171,6 +171,18 @@ func Fig5(w *dataset.World) (*Fig5Result, error) {
 	return r, nil
 }
 
+// Quantile returns the q-quantile (q in [0,1]) of the named network's
+// cable-length CDF, or (0, false) if the network is unknown. It is the
+// check-friendly accessor the verification subsystem snapshots instead of
+// the full CDF.
+func (r *Fig5Result) Quantile(network string, q float64) (float64, bool) {
+	cdf, ok := r.CDFs[network]
+	if !ok {
+		return 0, false
+	}
+	return cdf.Quantile(q), true
+}
+
 // Render writes each CDF as sampled points.
 func (r *Fig5Result) Render(w io.Writer) error {
 	names := make([]string, 0, len(r.CDFs))

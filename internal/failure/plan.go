@@ -1,6 +1,9 @@
 package failure
 
 import (
+	"fmt"
+	"math"
+
 	"gicnet/internal/topology"
 	"gicnet/internal/xrand"
 )
@@ -131,6 +134,45 @@ func (p *Plan) Evaluate(dead []bool) Outcome {
 		out.NodeFrac = float64(unreachable) / float64(p.connected)
 	}
 	return out
+}
+
+// DeathProbs returns a copy of every compiled per-cable death probability,
+// indexed by cable. It exists for verification code that asserts model
+// invariants (probabilities in [0,1], monotonicity in repeater count)
+// without re-deriving them through CableDeathProb.
+func (p *Plan) DeathProbs() []float64 {
+	return append([]float64(nil), p.deathProb...)
+}
+
+// Validate checks the plan's internal invariants: every death probability
+// in [0,1] and finite, repeater counts non-negative, and the incidence CSR
+// shaped for the network's node count. Compile always produces a valid
+// plan; Validate exists so the verification subsystem can prove that
+// rather than assume it.
+func (p *Plan) Validate() error {
+	for ci, prob := range p.deathProb {
+		if math.IsNaN(prob) || prob < 0 || prob > 1 {
+			return fmt.Errorf("failure: plan %s/%s: cable %d death probability %v outside [0,1]",
+				p.net.Name, p.modelName, ci, prob)
+		}
+		if p.repeaters[ci] < 0 {
+			return fmt.Errorf("failure: plan %s/%s: cable %d negative repeater count %d",
+				p.net.Name, p.modelName, ci, p.repeaters[ci])
+		}
+		if p.repeaters[ci] == 0 && prob != 0 {
+			return fmt.Errorf("failure: plan %s/%s: repeaterless cable %d has death probability %v",
+				p.net.Name, p.modelName, ci, prob)
+		}
+	}
+	if len(p.incStart) != len(p.net.Nodes)+1 {
+		return fmt.Errorf("failure: plan %s/%s: incidence CSR has %d offsets for %d nodes",
+			p.net.Name, p.modelName, len(p.incStart), len(p.net.Nodes))
+	}
+	if p.connected < 0 || p.connected > len(p.net.Nodes) {
+		return fmt.Errorf("failure: plan %s/%s: connected node count %d outside [0,%d]",
+			p.net.Name, p.modelName, p.connected, len(p.net.Nodes))
+	}
+	return nil
 }
 
 // ExpectedCableFrac is the analytic mean of the compiled probabilities —

@@ -124,6 +124,15 @@ func (g *Graph) Components(mask AliveMask) ([]int, int) {
 	return uf.CompactLabels()
 }
 
+// ComponentCount returns the number of connected components under the mask
+// without materialising the label slice. Verification code uses it for the
+// metamorphic check that killing more edges never decreases the component
+// count.
+func (g *Graph) ComponentCount(mask AliveMask) int {
+	_, count := g.Components(mask)
+	return count
+}
+
 // Reachable returns the set of nodes reachable from start via alive edges
 // (including start itself). It is the convenience form of Scratch.Reachable,
 // which hot paths should call directly to avoid the per-call allocations.

@@ -91,6 +91,9 @@ func TestMeanFragmentationS1FragmentsMore(t *testing.T) {
 }
 
 func TestRecommendLowLatitudeBridges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("candidate search over the full topology skipped in short mode")
+	}
 	w := world(t)
 	cands, err := Recommend(w, failure.S1(), 150, 30, 7, 5, "us", "region:europe")
 	if err != nil {
@@ -120,6 +123,9 @@ func TestRecommendLowLatitudeBridges(t *testing.T) {
 }
 
 func TestCompareAugmentationHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("before/after augmentation Monte Carlo skipped in short mode")
+	}
 	w := world(t)
 	cands, err := Recommend(w, failure.S1(), 150, 30, 9, 3, "us", "region:europe")
 	if err != nil {

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"gicnet/internal/dataset"
@@ -15,6 +16,27 @@ func world(t *testing.T) *dataset.World {
 		t.Fatal(err)
 	}
 	return w
+}
+
+// defaultReport memoises one Run(w, DefaultConfig()) for the tests that
+// only inspect the resulting report. Run is deterministic for a fixed
+// config (asserted by TestRunDeterministic), so sharing the artifact
+// changes nothing except the time spent regenerating it per test.
+var defaultReportOnce = sync.OnceValues(func() (*Report, error) {
+	w, err := dataset.Default()
+	if err != nil {
+		return nil, err
+	}
+	return Run(w, DefaultConfig())
+})
+
+func defaultReport(t *testing.T) *Report {
+	t.Helper()
+	rep, err := defaultReportOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
 }
 
 func TestRunValidation(t *testing.T) {
@@ -35,11 +57,7 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestRunCarringtonFullStack(t *testing.T) {
-	w := world(t)
-	rep, err := Run(w, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	rep := defaultReport(t)
 	if rep.Storm != "carrington-1859" {
 		t.Errorf("storm = %q", rep.Storm)
 	}
@@ -74,10 +92,7 @@ func (r *Report) GridFlagUnset() bool {
 
 func TestRunEconomicImpact(t *testing.T) {
 	w := world(t)
-	rep, err := Run(w, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	rep := defaultReport(t)
 	if rep.Economic == nil {
 		t.Fatal("no economic estimate")
 	}
@@ -128,7 +143,10 @@ func TestRunShutdownHelps(t *testing.T) {
 	// in expectation; assert over a few seeds to smooth sampling noise.
 	w := world(t)
 	better := 0
-	const runs = 5
+	runs := uint64(5)
+	if testing.Short() {
+		runs = 2
+	}
 	for seed := uint64(0); seed < runs; seed++ {
 		with := Config{Storm: gic.Quebec, SpacingKm: 150, Seed: seed, ApplyShutdown: true, FaultSeverity: 0.1}
 		without := with
@@ -145,17 +163,17 @@ func TestRunShutdownHelps(t *testing.T) {
 			better++
 		}
 	}
-	if better < runs/2 {
+	if uint64(better) < runs/2 {
 		t.Errorf("shutdown plan helped in only %d/%d runs", better, runs)
 	}
 }
 
 func TestRunDeterministic(t *testing.T) {
-	w := world(t)
-	a, err := Run(w, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
+	if testing.Short() {
+		t.Skip("double full-scenario run skipped in short mode")
 	}
+	w := world(t)
+	a := defaultReport(t)
 	b, err := Run(w, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -167,11 +185,7 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestRenderScenario(t *testing.T) {
-	w := world(t)
-	rep, err := Run(w, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	rep := defaultReport(t)
 	var b strings.Builder
 	if err := rep.Render(&b); err != nil {
 		t.Fatal(err)

@@ -17,8 +17,11 @@ package sim
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -71,6 +74,29 @@ type Result struct {
 	NodeFrac stats.Running
 	// Outcomes holds the per-trial raw outcomes, in trial order.
 	Outcomes []failure.Outcome
+}
+
+// Fingerprint hashes the per-trial outcomes (FNV-1a over their binary
+// representation, in trial order) together with the run identity. Two runs
+// of the same configuration are byte-identical exactly when their
+// fingerprints match, whatever the worker count — the replay layer of the
+// verification subsystem compares fingerprints across worker counts to
+// prove scheduling independence.
+func (r *Result) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%g|", r.Network, r.Model, r.SpacingKm)
+	var buf [8]byte
+	word := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:])
+	}
+	for _, o := range r.Outcomes {
+		word(uint64(o.CablesFailed))
+		word(uint64(o.NodesUnreachable))
+		word(math.Float64bits(o.CableFrac))
+		word(math.Float64bits(o.NodeFrac))
+	}
+	return h.Sum64()
 }
 
 // Run executes the Monte Carlo simulation described by cfg on net.

@@ -9,8 +9,10 @@
 package topology
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sync"
 
@@ -349,6 +351,36 @@ func (n *Network) CableBandByPath(ci int) (geo.Band, bool) {
 		}
 	})
 	return n.pathBands[ci], n.pathBandOK[ci]
+}
+
+// Fingerprint hashes the network's complete structure — node names,
+// coordinates, countries, and every cable's segments and lengths — with
+// FNV-1a. Two networks are structurally identical exactly when their
+// fingerprints match; the verification subsystem pins generated worlds to
+// golden fingerprints so dataset refactors cannot silently change the
+// topology every result depends on.
+func (n *Network) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:])
+	}
+	fmt.Fprintf(h, "net|%s|%d|%d|", n.Name, len(n.Nodes), len(n.Cables))
+	for _, nd := range n.Nodes {
+		fmt.Fprintf(h, "n|%s|%s|%t|", nd.Name, nd.Country, nd.HasCoord)
+		word(math.Float64bits(nd.Coord.Lat))
+		word(math.Float64bits(nd.Coord.Lon))
+	}
+	for _, c := range n.Cables {
+		fmt.Fprintf(h, "c|%s|%t|%d|", c.Name, c.KnownLength, len(c.Segments))
+		for _, s := range c.Segments {
+			word(uint64(s.A))
+			word(uint64(s.B))
+			word(math.Float64bits(s.LengthKm))
+		}
+	}
+	return h.Sum64()
 }
 
 // EndpointCoords returns the coordinates of all nodes that have them.

@@ -1,0 +1,150 @@
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tolerance bounds the acceptable numeric deviation in a golden diff: a
+// number passes when |got-want| <= Abs + Rel*max(|got|,|want|).
+//
+// The engine is deterministic for a fixed seed, so the defaults are tiny:
+// they absorb only cross-platform floating-point variation (FMA
+// contraction, libm sin/cos differences), not statistical noise. A golden
+// mismatch therefore means the model changed, not that the dice rolled
+// differently.
+type Tolerance struct {
+	Rel float64
+	Abs float64
+}
+
+// DefaultTolerance is the golden-regression default: one part in 10^9
+// relative, 1e-12 absolute.
+func DefaultTolerance() Tolerance { return Tolerance{Rel: 1e-9, Abs: 1e-12} }
+
+// ok reports whether got and want are equal within the tolerance.
+func (t Tolerance) ok(got, want float64) bool {
+	if got == want { // covers infinities and exact integers
+		return true
+	}
+	if math.IsNaN(got) || math.IsNaN(want) {
+		return math.IsNaN(got) && math.IsNaN(want)
+	}
+	return math.Abs(got-want) <= t.Abs+t.Rel*math.Max(math.Abs(got), math.Abs(want))
+}
+
+// Mismatch is one golden divergence, located by a JSON-style path.
+type Mismatch struct {
+	Path string
+	Got  string
+	Want string
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("%s: got %s, want %s", m.Path, m.Got, m.Want)
+}
+
+// DiffSnapshots compares a captured snapshot against a golden one. It
+// returns one Mismatch per diverging leaf value, with paths like
+// "fig67.Cells[3].CableMean[5]" so a failure reads as "this number of this
+// figure moved". An empty slice means the snapshots agree within tol.
+func DiffSnapshots(got, want *Snapshot, tol Tolerance) ([]Mismatch, error) {
+	gt, err := toTree(got)
+	if err != nil {
+		return nil, fmt.Errorf("verify: encode captured snapshot: %w", err)
+	}
+	wt, err := toTree(want)
+	if err != nil {
+		return nil, fmt.Errorf("verify: encode golden snapshot: %w", err)
+	}
+	var out []Mismatch
+	diffValue("", gt, wt, tol, &out)
+	return out, nil
+}
+
+// toTree round-trips a value through JSON into the generic tree the walker
+// understands. Using the JSON form means the diff covers exactly what the
+// golden file persists — no more, no less.
+func toTree(v any) (any, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	var tree any
+	if err := json.Unmarshal(b, &tree); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+func render(v any) string {
+	if v == nil {
+		return "<absent>"
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprint(v)
+	}
+	return string(b)
+}
+
+func diffValue(path string, got, want any, tol Tolerance, out *[]Mismatch) {
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			*out = append(*out, Mismatch{path, render(got), render(want)})
+			return
+		}
+		keys := make([]string, 0, len(w))
+		for k := range w {
+			keys = append(keys, k)
+		}
+		for k := range g {
+			if _, dup := w[k]; !dup {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			kp := k
+			if path != "" {
+				kp = path + "." + k
+			}
+			gv, gok := g[k]
+			wv, wok := w[k]
+			switch {
+			case !gok:
+				*out = append(*out, Mismatch{kp, "<absent>", render(wv)})
+			case !wok:
+				*out = append(*out, Mismatch{kp, render(gv), "<absent>"})
+			default:
+				diffValue(kp, gv, wv, tol, out)
+			}
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			*out = append(*out, Mismatch{path, render(got), render(want)})
+			return
+		}
+		if len(g) != len(w) {
+			*out = append(*out, Mismatch{path + ".len", fmt.Sprint(len(g)), fmt.Sprint(len(w))})
+			return
+		}
+		for i := range w {
+			diffValue(fmt.Sprintf("%s[%d]", path, i), g[i], w[i], tol, out)
+		}
+	case float64:
+		g, ok := got.(float64)
+		if !ok || !tol.ok(g, w) {
+			*out = append(*out, Mismatch{path, render(got), render(want)})
+		}
+	default: // string, bool, nil
+		if render(got) != render(want) {
+			*out = append(*out, Mismatch{path, render(got), render(want)})
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package verify
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// DefaultGoldenPath is where the repository keeps the checked-in golden,
+// relative to the repo root (the conventional working directory of
+// cmd/validate and make targets).
+const DefaultGoldenPath = "internal/verify/goldens/reproduce.json"
+
+// The golden is compiled into the binary so cmd/validate works from any
+// working directory; a fresher on-disk copy (e.g. right after -update)
+// takes precedence in LoadGolden.
+//
+//go:embed goldens/reproduce.json
+var embeddedGolden []byte
+
+// EmbeddedGolden parses the golden compiled into this binary.
+func EmbeddedGolden() (*Snapshot, error) {
+	return parseGolden(embeddedGolden, "embedded")
+}
+
+// LoadGolden reads the golden at path, falling back to the embedded copy
+// when the file does not exist.
+func LoadGolden(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return EmbeddedGolden()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("verify: read golden: %w", err)
+	}
+	return parseGolden(b, path)
+}
+
+func parseGolden(b []byte, source string) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("verify: parse golden %s: %w", source, err)
+	}
+	if s.Schema != SchemaVersion {
+		return nil, fmt.Errorf("verify: golden %s has schema %d, this binary expects %d — regenerate with -update",
+			source, s.Schema, SchemaVersion)
+	}
+	return &s, nil
+}
+
+// WriteGolden serialises a snapshot to path with stable formatting
+// (indented, sorted map keys, trailing newline), so regenerating an
+// unchanged golden produces a byte-identical file and an empty git diff.
+func WriteGolden(path string, s *Snapshot) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("verify: encode golden: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,158 @@
+package verify
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+
+	"gicnet/internal/dataset"
+	"gicnet/internal/experiments"
+	"gicnet/internal/failure"
+	"gicnet/internal/sim"
+)
+
+// ReplayWorkerCounts are the worker counts the replay proof covers: the
+// serial baseline, a fixed small pool, and whatever this machine's
+// GOMAXPROCS-scale pool is. Duplicates are collapsed.
+func ReplayWorkerCounts() []int {
+	counts := []int{1, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range counts {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Replay proves the engine's scheduling-independence contract: sim.Run and
+// the Figure 6/7/8 sweeps produce byte-identical results for every worker
+// count and across repeated runs. Each check reports the fingerprints it
+// compared, so a pass documents the evidence and a failure names the
+// worker count that diverged.
+func Replay(ctx context.Context, w *dataset.World, cfg experiments.Config) []Result {
+	return []Result{
+		replayRun(ctx, w, cfg),
+		replaySweep(ctx, w, cfg),
+		replayFig67(ctx, w, cfg),
+		replayFig8(ctx, w, cfg),
+	}
+}
+
+// replayRun checks sim.Run across worker counts and across repetition.
+func replayRun(ctx context.Context, w *dataset.World, cfg experiments.Config) Result {
+	const name = "replay-sim-run"
+	base := sim.Config{Model: failure.S1(), SpacingKm: 150, Trials: cfg.Trials, Seed: cfg.Seed}
+	var want uint64
+	for i, workers := range ReplayWorkerCounts() {
+		c := base
+		c.Workers = workers
+		res, err := sim.Run(ctx, w.Submarine, c)
+		if err != nil {
+			return fail(name, "workers=%d: %v", workers, err)
+		}
+		fp := res.Fingerprint()
+		if i == 0 {
+			want = fp
+			// Repeat the serial run to prove same-seed reproducibility.
+			again, err := sim.Run(ctx, w.Submarine, c)
+			if err != nil {
+				return fail(name, "repeat run: %v", err)
+			}
+			if again.Fingerprint() != fp {
+				return fail(name, "repeated serial run diverged: %016x vs %016x", again.Fingerprint(), fp)
+			}
+		} else if fp != want {
+			return fail(name, "workers=%d fingerprint %016x != serial %016x", workers, fp, want)
+		}
+	}
+	return pass(name, "sim.Run byte-identical across workers %v (fingerprint %016x)", ReplayWorkerCounts(), want)
+}
+
+// replaySweep checks SweepUniform across worker counts.
+func replaySweep(ctx context.Context, w *dataset.World, cfg experiments.Config) Result {
+	const name = "replay-sweep-uniform"
+	ps := sim.DefaultProbabilities()
+	var want uint64
+	for i, workers := range ReplayWorkerCounts() {
+		c := sim.Config{Model: failure.Uniform{}, SpacingKm: 100, Trials: cfg.Trials, Seed: cfg.Seed, Workers: workers}
+		pts, err := sim.SweepUniform(ctx, w.Intertubes, c, ps)
+		if err != nil {
+			return fail(name, "workers=%d: %v", workers, err)
+		}
+		h := fnv.New64a()
+		for _, pt := range pts {
+			fmt.Fprintf(h, "%g:%016x|", pt.P, pt.Result.Fingerprint())
+		}
+		fp := h.Sum64()
+		if i == 0 {
+			want = fp
+		} else if fp != want {
+			return fail(name, "workers=%d sweep fingerprint %016x != serial %016x", workers, fp, want)
+		}
+	}
+	return pass(name, "%d-point sweep byte-identical across workers %v (fingerprint %016x)",
+		len(ps), ReplayWorkerCounts(), want)
+}
+
+// jsonFingerprint hashes any JSON-encodable value; the encoding is
+// deterministic (sorted map keys), so equal fingerprints mean equal values.
+func jsonFingerprint(v any) (uint64, error) {
+	h := fnv.New64a()
+	if err := json.NewEncoder(h).Encode(v); err != nil {
+		return 0, err
+	}
+	return h.Sum64(), nil
+}
+
+// replayFig67 checks the full Figure 6/7 experiment across worker budgets.
+func replayFig67(ctx context.Context, w *dataset.World, cfg experiments.Config) Result {
+	const name = "replay-fig67"
+	var want uint64
+	for i, workers := range ReplayWorkerCounts() {
+		c := cfg
+		c.Workers = workers
+		r, err := experiments.Fig67(ctx, w, c)
+		if err != nil {
+			return fail(name, "workers=%d: %v", workers, err)
+		}
+		fp, err := jsonFingerprint(r)
+		if err != nil {
+			return fail(name, "fingerprint: %v", err)
+		}
+		if i == 0 {
+			want = fp
+		} else if fp != want {
+			return fail(name, "workers=%d result fingerprint %016x != serial %016x", workers, fp, want)
+		}
+	}
+	return pass(name, "Fig 6/7 sweeps byte-identical across workers %v (fingerprint %016x)", ReplayWorkerCounts(), want)
+}
+
+// replayFig8 checks the Figure 8 experiment across worker budgets.
+func replayFig8(ctx context.Context, w *dataset.World, cfg experiments.Config) Result {
+	const name = "replay-fig8"
+	var want uint64
+	for i, workers := range ReplayWorkerCounts() {
+		c := cfg
+		c.Workers = workers
+		r, err := experiments.Fig8(ctx, w, c)
+		if err != nil {
+			return fail(name, "workers=%d: %v", workers, err)
+		}
+		fp, err := jsonFingerprint(r)
+		if err != nil {
+			return fail(name, "fingerprint: %v", err)
+		}
+		if i == 0 {
+			want = fp
+		} else if fp != want {
+			return fail(name, "workers=%d result fingerprint %016x != serial %016x", workers, fp, want)
+		}
+	}
+	return pass(name, "Fig 8 runs byte-identical across workers %v (fingerprint %016x)", ReplayWorkerCounts(), want)
+}

@@ -1,0 +1,150 @@
+package verify
+
+import (
+	"context"
+	"testing"
+
+	"gicnet/internal/dataset"
+	"gicnet/internal/experiments"
+)
+
+func testWorld(t *testing.T) *dataset.World {
+	t.Helper()
+	w, err := dataset.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// goldenConfig mirrors the configuration the checked-in golden was
+// captured with (cmd/validate defaults).
+func goldenConfig() experiments.Config {
+	return experiments.Config{Trials: 10, Seed: dataset.DefaultSeed}
+}
+
+// TestGoldenRegression is the in-test form of `cmd/validate -only golden`:
+// a fresh capture must match the checked-in snapshot within the default
+// tolerance. If this fails after an intended model change, run
+// `make update-golden`, review the diff, and commit it.
+func TestGoldenRegression(t *testing.T) {
+	golden, err := LoadGolden("goldens/reproduce.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenConfig()
+	if golden.Seed != cfg.Seed || golden.Trials != cfg.Trials {
+		t.Fatalf("golden captured with seed=%d trials=%d; test expects seed=%d trials=%d",
+			golden.Seed, golden.Trials, cfg.Seed, cfg.Trials)
+	}
+	snap, err := Capture(context.Background(), testWorld(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatches, err := DiffSnapshots(snap, golden, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range mismatches {
+		if i >= 20 {
+			t.Errorf("... and %d more mismatches", len(mismatches)-i)
+			break
+		}
+		t.Errorf("golden mismatch: %s", m)
+	}
+}
+
+func TestCaptureShape(t *testing.T) {
+	cfg := experiments.Config{Trials: 2, Seed: 7}
+	snap, err := Capture(context.Background(), testWorld(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != SchemaVersion || snap.Seed != 7 || snap.Trials != 2 {
+		t.Errorf("meta = %+v", snap)
+	}
+	if len(snap.Calibration.Networks) != 3 {
+		t.Errorf("calibration networks = %d, want 3", len(snap.Calibration.Networks))
+	}
+	if len(snap.Fig67.Cells) != 9 {
+		t.Errorf("fig67 cells = %d, want 9", len(snap.Fig67.Cells))
+	}
+	if len(snap.Fig8.Rows) != 12 {
+		t.Errorf("fig8 rows = %d, want 12", len(snap.Fig8.Rows))
+	}
+	if _, ok := snap.Fig5["submarine"]; !ok {
+		t.Error("fig5 missing submarine quantiles")
+	}
+	if len(snap.Country["S1"]) == 0 || len(snap.Country["S2"]) == 0 {
+		t.Error("country summaries missing")
+	}
+	if len(snap.Systems) != 5 {
+		t.Errorf("systems rows = %d, want 5", len(snap.Systems))
+	}
+	if snap.Fig9 == nil || snap.Fig9.DirectASes+snap.Fig9.IndirectASes+snap.Fig9.LowASes == 0 {
+		t.Error("fig9 exposure counts all zero")
+	}
+}
+
+// TestCaptureDeterministic: two captures with the same config must be
+// identical — the property the golden layer rests on.
+func TestCaptureDeterministic(t *testing.T) {
+	w := testWorld(t)
+	cfg := experiments.Config{Trials: 3, Seed: 99}
+	a, err := Capture(context.Background(), w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4 // different parallelism must not matter
+	b, err := Capture(context.Background(), w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := DiffSnapshots(a, b, Tolerance{}) // zero tolerance: exact
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("captures diverged: %v", ms)
+	}
+}
+
+func TestWriteGoldenRoundTrip(t *testing.T) {
+	snap, err := Capture(context.Background(), testWorld(t), experiments.Config{Trials: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/golden.json"
+	if err := WriteGolden(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := DiffSnapshots(snap, loaded, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("round trip diverged: %v", ms)
+	}
+}
+
+func TestLoadGoldenFallsBackToEmbedded(t *testing.T) {
+	fromDisk, err := LoadGolden("goldens/reproduce.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromEmbed, err := LoadGolden(t.TempDir() + "/does-not-exist.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := DiffSnapshots(fromDisk, fromEmbed, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("embedded golden diverges from on-disk golden: %v", ms)
+	}
+}
