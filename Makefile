@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test vet race verify validate update-golden fuzz-smoke bench bench-snapshot
+.PHONY: all build test vet race verify validate update-golden fuzz-smoke bench bench-snapshot bench-check
 
 all: verify
 
@@ -49,8 +49,13 @@ fuzz-smoke:
 
 # Quick hot-path benchmarks with allocation counts.
 bench:
-	$(GO) test -run '^$$' -bench 'Fig6CableFailures|CountryConnectivity|AblationSimWorkers|TrialLoop|PlanCompile' -benchmem .
+	$(GO) test -run '^$$' -bench 'Fig6CableFailures|CountryConnectivity|AblationSimWorkers|TrialLoop|PlanCompile|SampleSparse|BitsetEvaluate' -benchmem .
 
 # Dated JSON snapshot of the full benchmark suite (see cmd/benchdiff).
 bench-snapshot:
-	$(GO) run ./cmd/benchdiff -bench '.' -pkg .
+	$(GO) run ./cmd/benchdiff -bench '.' -pkg . -count 3
+
+# Perf gate: rerun the latest BENCH_*.json snapshot's benchmark selection
+# and fail if any common benchmark regressed more than 15% ns/op.
+bench-check:
+	$(GO) run ./cmd/benchdiff -check

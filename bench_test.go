@@ -365,18 +365,74 @@ func BenchmarkWorldGeneration(b *testing.B) {
 // submarine network: one steady-state Monte Carlo trial (sample + evaluate)
 // through a compiled plan must report 0 allocs/op.
 func BenchmarkTrialLoop(b *testing.B) {
+	benchTrialLoop(b, failure.S1())
+}
+
+// BenchmarkTrialLoopLowP is the sparse-sampler showcase: at p=0.001 almost
+// every cable survives, so geometric skip sampling touches only a handful
+// of cables per trial instead of drawing one Bernoulli per cable.
+func BenchmarkTrialLoopLowP(b *testing.B) {
+	benchTrialLoop(b, failure.Uniform{P: 0.001})
+}
+
+func benchTrialLoop(b *testing.B, m failure.Model) {
 	w := benchWorld(b)
-	plan, err := failure.Compile(w.Submarine, failure.S1(), 150)
+	plan, err := failure.Compile(w.Submarine, m, 150)
 	if err != nil {
 		b.Fatal(err)
 	}
-	dead := make([]bool, plan.NumCables())
+	dead := plan.NewDead()
 	root := xrand.New(dataset.DefaultSeed)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng := root.SplitAt(uint64(i))
 		plan.SampleInto(dead, &rng)
+		_ = plan.Evaluate(dead)
+	}
+}
+
+// BenchmarkSampleSparse isolates the two sampling strategies at p=0.001 on
+// the submarine network: "sparse" is the compiled geometric-skip program,
+// "dense" the one-Bernoulli-per-cable reference path.
+func BenchmarkSampleSparse(b *testing.B) {
+	w := benchWorld(b)
+	plan, err := failure.Compile(w.Submarine, failure.Uniform{P: 0.001}, 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dead := plan.NewDead()
+	root := xrand.New(dataset.DefaultSeed)
+	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rng := root.SplitAt(uint64(i))
+			plan.SampleInto(dead, &rng)
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rng := root.SplitAt(uint64(i))
+			plan.SampleDense(dead, &rng)
+		}
+	})
+}
+
+// BenchmarkBitsetEvaluate isolates the word-level outcome kernel: popcount
+// over the dead mask plus the incidence-mask unreachable-node test, on a
+// fixed pre-sampled realisation.
+func BenchmarkBitsetEvaluate(b *testing.B) {
+	w := benchWorld(b)
+	plan, err := failure.Compile(w.Submarine, failure.S1(), 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(dataset.DefaultSeed)
+	dead := plan.Sample(rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		_ = plan.Evaluate(dead)
 	}
 }

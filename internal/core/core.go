@@ -82,9 +82,44 @@ type Connectivity struct {
 	Trials int
 }
 
+// pairScratch bundles the compiled plan and per-trial scratch (dead-cable
+// and dead-edge bitsets, union-find) one connectivity estimate needs, so a
+// report that asks about many pairs compiles once and the trial loops
+// allocate nothing.
+type pairScratch struct {
+	plan      *failure.Plan
+	scratch   *graph.Scratch
+	dead      graph.Bitset
+	deadEdges graph.Bitset
+}
+
+func newPairScratch(net *topology.Network, m failure.Model, spacingKm float64) (*pairScratch, error) {
+	plan, err := failure.Compile(net, m, spacingKm)
+	if err != nil {
+		return nil, err
+	}
+	return &pairScratch{
+		plan:    plan,
+		scratch: net.Graph().NewScratch(),
+		dead:    plan.NewDead(),
+	}, nil
+}
+
 // PairConnectivity estimates the probability that from and to remain
 // connected in the submarine network under the model at the given spacing.
 func (a *Analyzer) PairConnectivity(ctx context.Context, m failure.Model, spacingKm float64, trials int, seed uint64, from, to Target) (Connectivity, error) {
+	ps, err := newPairScratch(a.World.Submarine, m, spacingKm)
+	if err != nil {
+		return Connectivity{}, err
+	}
+	return a.pairConnectivity(ctx, ps, trials, seed, from, to)
+}
+
+// pairConnectivity is PairConnectivity against an already-compiled
+// pairScratch: the trial loop samples into a packed dead-cable bitset,
+// projects it onto graph edges, and asks the union-find whether any node
+// of from still reaches any node of to — all without allocating.
+func (a *Analyzer) pairConnectivity(ctx context.Context, ps *pairScratch, trials int, seed uint64, from, to Target) (Connectivity, error) {
 	if trials <= 0 {
 		return Connectivity{}, errors.New("core: trials must be positive")
 	}
@@ -97,18 +132,8 @@ func (a *Analyzer) PairConnectivity(ctx context.Context, m failure.Model, spacin
 	if err != nil {
 		return Connectivity{}, err
 	}
-	// Compile the failure model once — per-cable probabilities are constant
-	// across trials — and reuse one scratch (dead mask, edge mask,
-	// union-find) so the trial loop allocates nothing.
-	plan, err := failure.Compile(net, m, spacingKm)
-	if err != nil {
-		return Connectivity{}, err
-	}
-	scratch := net.Graph().NewScratch()
 	fromIDs := nodeIDs(fromNodes)
 	toIDs := nodeIDs(toNodes)
-	dead := make([]bool, plan.NumCables())
-	var mask graph.AliveMask
 	root := xrand.New(seed)
 	survived := 0
 	for ti := 0; ti < trials; ti++ {
@@ -116,9 +141,9 @@ func (a *Analyzer) PairConnectivity(ctx context.Context, m failure.Model, spacin
 			return Connectivity{}, err
 		}
 		rng := root.SplitAt(uint64(ti))
-		plan.SampleInto(dead, &rng)
-		mask = net.AliveMaskInto(mask, dead)
-		if scratch.AnyConnected(mask, fromIDs, toIDs) {
+		ps.plan.SampleInto(ps.dead, &rng)
+		ps.deadEdges = net.DeadEdgeBitsInto(ps.deadEdges, ps.dead)
+		if ps.scratch.AnyConnectedBits(ps.deadEdges, fromIDs, toIDs) {
 			survived++
 		}
 	}
@@ -187,12 +212,19 @@ func (a *Analyzer) CountryAnalysis(ctx context.Context, m failure.Model, spacing
 		rep.IsolationProb *= p
 	}
 	sort.Slice(rep.Cables, func(i, j int) bool { return rep.Cables[i].DeathProb > rep.Cables[j].DeathProb })
-	for _, partner := range partners {
-		c, err := a.PairConnectivity(ctx, m, spacingKm, trials, seed, target, partner)
+	if len(partners) > 0 {
+		// One compiled plan and one trial scratch serve every partner pair.
+		ps, err := newPairScratch(net, m, spacingKm)
 		if err != nil {
 			return nil, err
 		}
-		rep.Partners = append(rep.Partners, c)
+		for _, partner := range partners {
+			c, err := a.pairConnectivity(ctx, ps, trials, seed, target, partner)
+			if err != nil {
+				return nil, err
+			}
+			rep.Partners = append(rep.Partners, c)
+		}
 	}
 	return rep, nil
 }

@@ -246,7 +246,15 @@ func Fig67(ctx context.Context, w *dataset.World, cfg Config) (*Fig67Result, err
 	}
 	cells := make([]SweepCell, len(specs))
 	cellWorkers, inner := splitBudget(cfg.Workers, len(specs))
-	err := sim.ForEach(ctx, len(specs), cellWorkers, func(i int) error {
+	// One arena per cell worker: plan storage, dead bitsets, and outcome
+	// buffers are recycled across the worker's cells and sweep points.
+	arenas := make([]*sim.Arena, cellWorkers)
+	err := sim.ForEachWorker(ctx, len(specs), cellWorkers, func(worker, i int) error {
+		a := arenas[worker]
+		if a == nil {
+			a = sim.NewArena()
+			arenas[worker] = a
+		}
 		spec := specs[i]
 		simCfg := sim.Config{
 			SpacingKm: spec.spacing,
@@ -255,16 +263,20 @@ func Fig67(ctx context.Context, w *dataset.World, cfg Config) (*Fig67Result, err
 			Workers:   inner,
 			Model:     failure.Uniform{P: 0},
 		}
-		pts, err := sim.SweepUniform(ctx, spec.net, simCfg, probs)
+		pts, err := sim.SweepUniformArena(ctx, spec.net, simCfg, probs, a)
 		if err != nil {
 			return err
 		}
-		cell := SweepCell{Network: spec.net.Name, SpacingKm: spec.spacing, Probs: probs}
-		for _, p := range pts {
-			cell.CableMean = append(cell.CableMean, 100*p.Result.CableFrac.Mean())
-			cell.CableStd = append(cell.CableStd, 100*p.Result.CableFrac.StdDev())
-			cell.NodeMean = append(cell.NodeMean, 100*p.Result.NodeFrac.Mean())
-			cell.NodeStd = append(cell.NodeStd, 100*p.Result.NodeFrac.StdDev())
+		cell := SweepCell{
+			Network: spec.net.Name, SpacingKm: spec.spacing, Probs: probs,
+			CableMean: make([]float64, len(pts)), CableStd: make([]float64, len(pts)),
+			NodeMean: make([]float64, len(pts)), NodeStd: make([]float64, len(pts)),
+		}
+		for k, p := range pts {
+			cell.CableMean[k] = 100 * p.Result.CableFrac.Mean()
+			cell.CableStd[k] = 100 * p.Result.CableFrac.StdDev()
+			cell.NodeMean[k] = 100 * p.Result.NodeFrac.Mean()
+			cell.NodeStd[k] = 100 * p.Result.NodeFrac.StdDev()
 		}
 		cells[i] = cell
 		return nil
@@ -369,9 +381,17 @@ func Fig8(ctx context.Context, w *dataset.World, cfg Config) (*Fig8Result, error
 	}
 	rows := make([]Fig8Row, len(specs))
 	outer, inner := splitBudget(cfg.Workers, len(specs))
-	err := sim.ForEach(ctx, len(specs), outer, func(i int) error {
+	// Per-worker arenas: each run reuses its worker's compiled-plan and
+	// result storage; rows only keep the scalar summaries.
+	arenas := make([]*sim.Arena, outer)
+	err := sim.ForEachWorker(ctx, len(specs), outer, func(worker, i int) error {
+		a := arenas[worker]
+		if a == nil {
+			a = sim.NewArena()
+			arenas[worker] = a
+		}
 		spec := specs[i]
-		res, err := sim.Run(ctx, spec.net, sim.Config{
+		res, err := a.RunModel(ctx, spec.net, sim.Config{
 			Model:     models[spec.mi],
 			SpacingKm: spec.spacing,
 			Trials:    cfg.Trials,

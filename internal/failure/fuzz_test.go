@@ -100,24 +100,35 @@ func FuzzPlanCompile(f *testing.F) {
 			}
 		}
 		// Same seed, both sampling paths: identical masks and outcomes.
+		// The dense sampler is the draw-for-draw twin of the uncompiled
+		// path; the sparse sampler draws differently but its realisations
+		// must evaluate identically through both evaluators.
 		rngPlan := xrand.New(seed ^ 0xf)
 		rngDirect := xrand.New(seed ^ 0xf)
-		dead := plan.Sample(rngPlan)
+		dead := plan.NewDead()
+		plan.SampleDense(dead, rngPlan)
 		direct, err := SampleCableDeaths(net, model, spacing, rngDirect)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for ci := range dead {
-			if dead[ci] != direct[ci] {
+		for ci := range direct {
+			if dead.Get(ci) != direct[ci] {
 				t.Fatalf("cable %d: plan sampling disagrees with direct sampling", ci)
 			}
 		}
-		po, fo := plan.Evaluate(dead), Evaluate(net, dead)
+		po, fo := plan.Evaluate(dead), Evaluate(net, direct)
 		if po != fo {
 			t.Fatalf("plan outcome %+v != direct outcome %+v", po, fo)
 		}
 		if po.CableFrac < 0 || po.CableFrac > 1 || po.NodeFrac < 0 || po.NodeFrac > 1 {
 			t.Fatalf("outcome fractions out of range: %+v", po)
+		}
+		rngSparse := xrand.New(seed ^ 0x5a)
+		plan.SampleInto(dead, rngSparse)
+		bools := make([]bool, plan.NumCables())
+		dead.Expand(bools)
+		if po, fo := plan.Evaluate(dead), Evaluate(net, bools); po != fo {
+			t.Fatalf("sparse realisation: plan outcome %+v != direct outcome %+v", po, fo)
 		}
 	})
 }

@@ -3,20 +3,53 @@ package failure
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
+	"gicnet/internal/graph"
 	"gicnet/internal/topology"
 	"gicnet/internal/xrand"
 )
 
+// Sparse-sampling thresholds. A probability bucket is sampled with
+// geometric skips only when its envelope is at most 1/4 (above that the
+// skips are mostly zero and per-cable draws are cheaper) and it holds
+// enough cables for the skip arithmetic to amortise.
+const (
+	minSparseExp   = 2  // smallest eligible envelope exponent: 2^-2 = 0.25
+	maxSparseExp   = 64 // probabilities below 2^-64 share the bottom bucket
+	sparseMinGroup = 8
+)
+
+// sampleGroup is one compile-time probability bucket: cables whose death
+// probabilities share the power-of-two envelope pmax, laid out contiguously
+// in the plan's groupCables/groupProbs arrays.
+type sampleGroup struct {
+	pmax    float64
+	invLogq float64 // 1 / log1p(-pmax): turns a uniform draw into a skip
+	start   int
+	end     int
+}
+
 // Plan is a failure model compiled against one (network, model, spacing)
 // triple. CableDeathProb walks cable geometry and calls math.Pow per query;
 // inside a Monte Carlo run those inputs are constant, so the plan
-// precomputes every per-cable death probability, the repeater counts, and
-// the node→cable incidence needed to score a trial. Sampling and
-// evaluating a trial through a Plan allocates nothing.
+// precomputes every per-cable death probability and a sampling program over
+// them:
+//
+//   - cables with probability 1 live in a template bitset copied per trial,
+//   - cables with probability in (0,1) are bucketed by power-of-two
+//     envelope; large low-probability buckets sample via geometric skip
+//     draws (one log per expected hit instead of one Bernoulli per cable)
+//     thinned down to each cable's exact probability, and the rest fall
+//     back to one Bernoulli draw per cable.
+//
+// Evaluation runs against the network's bit-packed incidence: failed
+// cables are a popcount, and only nodes touching a dead cable are tested
+// for unreachability, by word-AND against precompiled per-node masks.
 //
 // A Plan is immutable after Compile and safe for concurrent use; workers
-// need only their own dead-mask scratch slice and RNG.
+// need only their own dead-mask bitset and RNG. Sampling and evaluating a
+// trial through a Plan allocates nothing.
 type Plan struct {
 	net       *topology.Network
 	modelName string
@@ -25,38 +58,162 @@ type Plan struct {
 	deathProb []float64 // per cable: 1-(1-p)^r, clamped to [0,1]
 	repeaters []int     // per cable: repeater count at spacingKm
 
-	// Node→cable incidence (shared with the network's cache) and the
-	// connected-node denominator for NodeFrac.
-	incStart  []int32
-	incList   []int32
-	connected int
+	baseDead    graph.Bitset // template: every probability-1 cable pre-set
+	dense       []int32      // cables sampled with one Bernoulli draw each
+	denseProb   []float64
+	groups      []sampleGroup
+	groupCables []int32
+	groupProbs  []float64
+
+	inc       *topology.IncidenceBits
+	connected int // nodes with >= 1 cable: the NodeFrac denominator
+
+	// uniformNames memoizes Uniform model names across recompiles: a sweep
+	// recompiles its arena plan once per (point, cell) with the same few
+	// probabilities, and fmt.Sprintf in Uniform.Name was its last
+	// steady-state allocation. Never cleared — the name of a probability
+	// does not depend on the network or spacing.
+	uniformNames map[float64]string
 }
 
 // Compile precomputes a simulation plan. It validates the spacing and
-// resolves every per-cable probability exactly as CableDeathProb would, so
-// plan-based sampling is bit-identical to the per-trial path.
+// resolves every per-cable probability exactly as CableDeathProb would.
 func Compile(net *topology.Network, m Model, spacingKm float64) (*Plan, error) {
+	p := &Plan{}
+	if err := CompileInto(p, net, m, spacingKm); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// CompileInto is Compile reusing p's backing arrays, so a worker that
+// compiles many plans (one sweep point after another) allocates only on
+// first use. The previous contents of p are discarded.
+func CompileInto(p *Plan, net *topology.Network, m Model, spacingKm float64) error {
 	if spacingKm <= 0 {
-		return nil, ErrBadSpacing
+		return ErrBadSpacing
 	}
-	p := &Plan{
-		net:       net,
-		modelName: m.Name(),
-		spacingKm: spacingKm,
-		deathProb: make([]float64, len(net.Cables)),
-		repeaters: make([]int, len(net.Cables)),
-		connected: net.ConnectedNodeCount(),
-	}
-	p.incStart, p.incList = net.CableIncidence()
+	nc := len(net.Cables)
+	p.net = net
+	p.modelName = p.nameOf(m)
+	p.spacingKm = spacingKm
+	p.deathProb = growFloats(p.deathProb, nc)
+	p.repeaters = growInts(p.repeaters, nc)
+	p.connected = net.ConnectedNodeCount()
+	p.inc = net.IncidenceBits()
 	for ci := range net.Cables {
 		prob, err := CableDeathProb(net, m, spacingKm, ci)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.deathProb[ci] = prob
 		p.repeaters[ci] = net.Cables[ci].RepeaterCount(spacingKm)
 	}
-	return p, nil
+	p.buildSampler()
+	return nil
+}
+
+// nameOf resolves a model's display name through the plan's memo for the
+// Uniform sweep case; other models format their name on every compile.
+func (p *Plan) nameOf(m Model) string {
+	u, ok := m.(Uniform)
+	if !ok {
+		return m.Name()
+	}
+	if name, ok := p.uniformNames[u.P]; ok {
+		return name
+	}
+	if p.uniformNames == nil {
+		p.uniformNames = make(map[float64]string)
+	}
+	name := u.Name()
+	p.uniformNames[u.P] = name
+	return name
+}
+
+// envExp buckets a probability in (0,1) by its power-of-two envelope:
+// the returned e satisfies 2^-(e+1) < prob <= 2^-e (exact powers of two get
+// a tight envelope), clamped to maxSparseExp.
+func envExp(prob float64) int {
+	frac, exp := math.Frexp(prob) // prob = frac * 2^exp, frac in [0.5, 1)
+	if frac == 0.5 {
+		exp--
+	}
+	e := -exp
+	if e > maxSparseExp {
+		e = maxSparseExp
+	}
+	if e < 0 {
+		e = 0
+	}
+	return e
+}
+
+// buildSampler turns deathProb into the sampling program. The layout is a
+// pure function of the probabilities (no map iteration, no sorting), so
+// compilation is deterministic and allocation-free in steady state.
+func (p *Plan) buildSampler() {
+	p.baseDead = graph.GrowBitset(p.baseDead, len(p.deathProb))
+	// Reserve worst-case capacity up front (every cable dense) so the
+	// scatter pass appends without doubling through realloc steps.
+	p.dense = growInt32s(p.dense, len(p.deathProb))[:0]
+	p.denseProb = growFloats(p.denseProb, len(p.deathProb))[:0]
+	p.groups = p.groups[:0]
+
+	// Pass 1: count bucket occupancy.
+	var counts [maxSparseExp + 1]int32
+	for _, prob := range p.deathProb {
+		if prob <= 0 || prob >= 1 {
+			continue
+		}
+		counts[envExp(prob)]++
+	}
+
+	// Assign offsets; buckets too small or too probable go dense.
+	var offs [maxSparseExp + 1]int32
+	total := int32(0)
+	for e := 0; e <= maxSparseExp; e++ {
+		if e < minSparseExp || counts[e] < sparseMinGroup {
+			offs[e] = -1
+			continue
+		}
+		offs[e] = total
+		total += counts[e]
+	}
+	p.groupCables = growInt32s(p.groupCables, int(total))
+	p.groupProbs = growFloats(p.groupProbs, int(total))
+
+	// Pass 2: scatter cables; within each bucket cables stay in ascending
+	// index order, which keeps the skip walk cache-friendly.
+	fill := offs
+	for ci, prob := range p.deathProb {
+		switch {
+		case prob <= 0:
+		case prob >= 1:
+			p.baseDead.Set(ci)
+		default:
+			if o := fill[envExp(prob)]; o >= 0 {
+				p.groupCables[o] = int32(ci)
+				p.groupProbs[o] = prob
+				fill[envExp(prob)] = o + 1
+			} else {
+				p.dense = append(p.dense, int32(ci))
+				p.denseProb = append(p.denseProb, prob)
+			}
+		}
+	}
+	for e := minSparseExp; e <= maxSparseExp; e++ {
+		if offs[e] < 0 {
+			continue
+		}
+		pmax := math.Ldexp(1, -e)
+		p.groups = append(p.groups, sampleGroup{
+			pmax:    pmax,
+			invLogq: 1 / math.Log1p(-pmax),
+			start:   int(offs[e]),
+			end:     int(offs[e] + counts[e]),
+		})
+	}
 }
 
 // Network returns the network the plan was compiled for.
@@ -68,8 +225,11 @@ func (p *Plan) ModelName() string { return p.modelName }
 // SpacingKm returns the compiled inter-repeater spacing.
 func (p *Plan) SpacingKm() float64 { return p.spacingKm }
 
-// NumCables returns the cable count, the length SampleInto expects.
+// NumCables returns the cable count the plan's bitsets are sized for.
 func (p *Plan) NumCables() int { return len(p.deathProb) }
+
+// NewDead returns a zeroed dead-cable bitset sized for the plan.
+func (p *Plan) NewDead() graph.Bitset { return graph.NewBitset(p.NumCables()) }
 
 // DeathProb returns the precomputed death probability of cable ci.
 func (p *Plan) DeathProb(ci int) float64 { return p.deathProb[ci] }
@@ -77,58 +237,110 @@ func (p *Plan) DeathProb(ci int) float64 { return p.deathProb[ci] }
 // RepeaterCount returns the precomputed repeater count of cable ci.
 func (p *Plan) RepeaterCount(ci int) int { return p.repeaters[ci] }
 
-// SampleInto draws one realisation of cable deaths into dead, which must
-// have length NumCables. The RNG consumption matches SampleCableDeaths
-// draw for draw (cables with probability 0 or 1 consume nothing), so a
-// given seed yields the same realisation on either path.
-func (p *Plan) SampleInto(dead []bool, rng *xrand.Source) {
-	if len(p.deathProb) == 0 {
-		return
+// SampleInto draws one realisation of cable deaths into dead, which must be
+// sized for NumCables bits. Probability-1 cables arrive via a template
+// copy, dense cables take one Bernoulli draw each, and each sparse bucket
+// walks its cables with geometric skips under the bucket envelope, thinning
+// each hit down to the cable's exact probability — every cable still dies
+// independently with exactly its compiled probability, with RNG work
+// proportional to the expected number of failures instead of the cable
+// count.
+//
+// The draw sequence differs from SampleCableDeaths; use SampleDense for
+// draw-for-draw compatibility with the direct path.
+func (p *Plan) SampleInto(dead graph.Bitset, rng *xrand.Source) {
+	dead.CopyFrom(p.baseDead)
+	denseProb := p.denseProb
+	for k, ci := range p.dense {
+		if rng.Float64() < denseProb[k] {
+			dead.Set(int(ci))
+		}
 	}
-	_ = dead[len(p.deathProb)-1] // one bounds check, not NumCables
-	for ci, prob := range p.deathProb {
-		dead[ci] = rng.Bool(prob)
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		cables := p.groupCables[g.start:g.end]
+		probs := p.groupProbs[g.start:g.end]
+		i := 0
+		for {
+			u := rng.Float64()
+			if u <= 0 {
+				break // log(0) = -Inf: the skip overshoots any group
+			}
+			// Geometric skip: the next candidate under a Bernoulli(pmax)
+			// scan is floor(log(u)/log(1-pmax)) positions ahead. Compare in
+			// float space before converting — the skip can exceed int range.
+			t := math.Log(u) * g.invLogq
+			if t >= float64(len(cables)-i) {
+				break
+			}
+			i += int(t)
+			if pr := probs[i]; pr >= g.pmax || rng.Float64()*g.pmax < pr {
+				dead.Set(int(cables[i]))
+			}
+			i++
+		}
 	}
 }
 
-// Sample is SampleInto with a freshly allocated mask.
-func (p *Plan) Sample(rng *xrand.Source) []bool {
-	dead := make([]bool, p.NumCables())
+// SampleDense draws one realisation with one Bernoulli decision per cable
+// in cable order — draw-for-draw compatible with SampleCableDeaths (cables
+// with probability 0 or 1 consume nothing), so a given seed yields the
+// same realisation on either path. It exists for the verification layer's
+// coupling and equivalence proofs; simulation hot paths use SampleInto.
+func (p *Plan) SampleDense(dead graph.Bitset, rng *xrand.Source) {
+	dead.Clear()
+	for ci, prob := range p.deathProb {
+		if rng.Bool(prob) {
+			dead.Set(ci)
+		}
+	}
+}
+
+// Sample is SampleInto with a freshly allocated bitset.
+func (p *Plan) Sample(rng *xrand.Source) graph.Bitset {
+	dead := p.NewDead()
 	p.SampleInto(dead, rng)
 	return dead
 }
 
-// Evaluate scores a cable-death vector without touching the graph
-// projection or allocating: node unreachability reduces to "all incident
-// cables dead" over the compiled incidence lists.
-func (p *Plan) Evaluate(dead []bool) Outcome {
+// Evaluate scores a dead-cable bitset without touching the graph
+// projection or allocating. Failed cables are a word-level popcount. For
+// unreachability it inverts the scan: only a node incident to a dead cable
+// can have lost all its cables, so it walks the set bits of dead, visits
+// each dead cable's endpoint nodes, and tests "all incident cables dead"
+// by word-AND against the precompiled per-node masks. Each fully-dead node
+// is counted exactly once, when the walk reaches its lowest incident cable
+// (necessarily dead). At the paper's low sweep probabilities this touches
+// a handful of words instead of every node.
+func (p *Plan) Evaluate(dead graph.Bitset) Outcome {
 	failed := 0
-	for _, d := range dead {
-		if d {
-			failed++
-		}
-	}
+	inc := p.inc
 	unreachable := 0
-	start, list := p.incStart, p.incList
-	for i := 0; i+1 < len(start); i++ {
-		s, e := start[i], start[i+1]
-		if s == e {
-			continue // never connected, never counted
-		}
-		alive := false
-		for _, ci := range list[s:e] {
-			if !dead[ci] {
-				alive = true
-				break
+	for wi, w := range dead {
+		failed += bits.OnesCount64(w)
+		for w != 0 {
+			ci := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			for _, ni := range inc.CableNodes[inc.CableStart[ci]:inc.CableStart[ci+1]] {
+				if int(inc.MinCable[ni]) != ci {
+					continue
+				}
+				allDead := true
+				for k := inc.NodeStart[ni]; k < inc.NodeStart[ni+1]; k++ {
+					if inc.WordMask[k]&^dead[inc.WordIdx[k]] != 0 {
+						allDead = false
+						break
+					}
+				}
+				if allDead {
+					unreachable++
+				}
 			}
-		}
-		if !alive {
-			unreachable++
 		}
 	}
 	out := Outcome{CablesFailed: failed, NodesUnreachable: unreachable}
-	if len(dead) > 0 {
-		out.CableFrac = float64(failed) / float64(len(dead))
+	if len(p.deathProb) > 0 {
+		out.CableFrac = float64(failed) / float64(len(p.deathProb))
 	}
 	if p.connected > 0 {
 		out.NodeFrac = float64(unreachable) / float64(p.connected)
@@ -145,8 +357,9 @@ func (p *Plan) DeathProbs() []float64 {
 }
 
 // Validate checks the plan's internal invariants: every death probability
-// in [0,1] and finite, repeater counts non-negative, and the incidence CSR
-// shaped for the network's node count. Compile always produces a valid
+// in [0,1] and finite, repeater counts non-negative, the incidence view
+// shaped for the network, and the sampling program covering every cable
+// with positive probability exactly once. Compile always produces a valid
 // plan; Validate exists so the verification subsystem can prove that
 // rather than assume it.
 func (p *Plan) Validate() error {
@@ -164,13 +377,49 @@ func (p *Plan) Validate() error {
 				p.net.Name, p.modelName, ci, prob)
 		}
 	}
-	if len(p.incStart) != len(p.net.Nodes)+1 {
-		return fmt.Errorf("failure: plan %s/%s: incidence CSR has %d offsets for %d nodes",
-			p.net.Name, p.modelName, len(p.incStart), len(p.net.Nodes))
+	if p.inc == nil || len(p.inc.NodeStart) != len(p.net.Nodes)+1 {
+		return fmt.Errorf("failure: plan %s/%s: incidence bits not shaped for %d nodes",
+			p.net.Name, p.modelName, len(p.net.Nodes))
 	}
 	if p.connected < 0 || p.connected > len(p.net.Nodes) {
 		return fmt.Errorf("failure: plan %s/%s: connected node count %d outside [0,%d]",
 			p.net.Name, p.modelName, p.connected, len(p.net.Nodes))
+	}
+	// Sampling program coverage: each cable must be handled by exactly one
+	// of the template, the dense list, or a sparse group — and only cables
+	// with probability 0 may be absent.
+	seen := make([]int, len(p.deathProb))
+	for ci := range seen {
+		if p.baseDead.Get(ci) {
+			seen[ci]++
+		}
+	}
+	for _, ci := range p.dense {
+		seen[ci]++
+	}
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		if !(g.pmax > 0 && g.pmax <= 0.25) || g.invLogq >= 0 {
+			return fmt.Errorf("failure: plan %s/%s: sparse group %d has envelope %v invLogq %v",
+				p.net.Name, p.modelName, gi, g.pmax, g.invLogq)
+		}
+		for k := g.start; k < g.end; k++ {
+			seen[p.groupCables[k]]++
+			if pr := p.groupProbs[k]; pr > g.pmax || pr != p.deathProb[p.groupCables[k]] {
+				return fmt.Errorf("failure: plan %s/%s: cable %d probability %v escapes envelope %v",
+					p.net.Name, p.modelName, p.groupCables[k], pr, g.pmax)
+			}
+		}
+	}
+	for ci, n := range seen {
+		want := 1
+		if p.deathProb[ci] == 0 {
+			want = 0
+		}
+		if n != want {
+			return fmt.Errorf("failure: plan %s/%s: cable %d appears %d times in the sampling program, want %d",
+				p.net.Name, p.modelName, ci, n, want)
+		}
 	}
 	return nil
 }
@@ -186,4 +435,25 @@ func (p *Plan) ExpectedCableFrac() float64 {
 		total += prob
 	}
 	return total / float64(len(p.deathProb))
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }

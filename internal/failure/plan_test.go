@@ -1,6 +1,7 @@
 package failure
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestPlanMatchesCableDeathProb(t *testing.T) {
 }
 
 // TestPlanSamplingMatchesPerTrialPath is the plan-vs-reference half of the
-// bit-reproducibility contract: for the same seed, SampleInto must consume
+// bit-reproducibility contract: for the same seed, SampleDense must consume
 // the RNG draw for draw like SampleCableDeaths, and Evaluate must score the
 // realisation like the Evaluate package function.
 func TestPlanSamplingMatchesPerTrialPath(t *testing.T) {
@@ -69,7 +70,8 @@ func TestPlanSamplingMatchesPerTrialPath(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		dead := make([]bool, plan.NumCables())
+		dead := plan.NewDead()
+		bools := make([]bool, plan.NumCables())
 		for trial := uint64(0); trial < 200; trial++ {
 			root := xrand.New(99)
 			rngRef := root.Split(trial)
@@ -78,12 +80,60 @@ func TestPlanSamplingMatchesPerTrialPath(t *testing.T) {
 				t.Fatal(err)
 			}
 			rng := root.SplitAt(trial)
-			plan.SampleInto(dead, &rng)
-			if !reflect.DeepEqual(dead, want) {
-				t.Fatalf("%s trial %d: plan sample %v, reference %v", m.Name(), trial, dead, want)
+			plan.SampleDense(dead, &rng)
+			dead.Expand(bools)
+			if !reflect.DeepEqual(bools, want) {
+				t.Fatalf("%s trial %d: plan sample %v, reference %v", m.Name(), trial, bools, want)
 			}
-			if got, want := plan.Evaluate(dead), Evaluate(n, dead); got != want {
+			if got, want := plan.Evaluate(dead), Evaluate(n, want); got != want {
 				t.Fatalf("%s trial %d: plan outcome %+v, reference %+v", m.Name(), trial, got, want)
+			}
+		}
+	}
+}
+
+// TestPlanSparseSamplerDistribution checks the geometric-skip sampler's
+// marginals against the analytic death probabilities: per-cable death
+// frequencies over many trials must land within a generous binomial
+// confidence band, and every sparse realisation must evaluate identically
+// to the reference evaluator.
+func TestPlanSparseSamplerDistribution(t *testing.T) {
+	n := planNet()
+	const trials = 40000
+	for _, m := range []Model{Uniform{P: 0.05}, Uniform{P: 0.001}, S1(), S2()} {
+		plan, err := Compile(n, m, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead := plan.NewDead()
+		bools := make([]bool, plan.NumCables())
+		counts := make([]int, plan.NumCables())
+		root := xrand.New(1859)
+		for trial := uint64(0); trial < trials; trial++ {
+			rng := root.SplitAt(trial)
+			plan.SampleInto(dead, &rng)
+			for ci := range counts {
+				if dead.Get(ci) {
+					counts[ci]++
+				}
+			}
+			if trial < 64 {
+				dead.Expand(bools)
+				if got, want := plan.Evaluate(dead), Evaluate(n, bools); got != want {
+					t.Fatalf("%s trial %d: plan outcome %+v, reference %+v", m.Name(), trial, got, want)
+				}
+			}
+		}
+		for ci := range counts {
+			p := plan.DeathProb(ci)
+			got := float64(counts[ci]) / trials
+			// 6-sigma binomial band, floored so tiny p keeps a real margin.
+			tol := 6 * math.Sqrt(p*(1-p)/trials)
+			if tol < 0.002 {
+				tol = 0.002
+			}
+			if math.Abs(got-p) > tol {
+				t.Errorf("%s cable %d: death freq %v, want %v ± %v", m.Name(), ci, got, p, tol)
 			}
 		}
 	}
@@ -140,7 +190,7 @@ func BenchmarkPlanTrialLoop(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	dead := make([]bool, plan.NumCables())
+	dead := plan.NewDead()
 	root := xrand.New(7)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Scratch is reusable per-worker state for repeated masked queries over one
 // graph. The Monte Carlo engine runs thousands of trials against the same
@@ -87,7 +90,44 @@ func (s *Scratch) Reachable(dst []NodeID, start NodeID, mask AliveMask) ([]NodeI
 // It is the zero-allocation form of the Components+label-intersection
 // pattern used by the country connectivity analysis.
 func (s *Scratch) AnyConnected(mask AliveMask, from, to []NodeID) bool {
-	uf := s.Components(mask)
+	return s.anyConnected(s.Components(mask), from, to)
+}
+
+// ComponentsBits is Components with a packed dead-edge set: edge e is alive
+// iff bit e of deadEdges is zero. A nil bitset means every edge is alive.
+// deadEdges must span every edge ID (BitsetWords(NumEdges()) words).
+func (s *Scratch) ComponentsBits(deadEdges Bitset) *UnionFind {
+	s.uf.Reset(s.g.NumNodes())
+	edges := s.g.edges
+	if deadEdges == nil {
+		for i := range edges {
+			s.uf.Union(int(edges[i].A), int(edges[i].B))
+		}
+		return s.uf
+	}
+	// Invert word by word and walk the alive bits, skipping dead edges
+	// without a per-edge branch.
+	for wi, w := range deadEdges {
+		base := wi << 6
+		alive := ^w
+		if rest := len(edges) - base; rest < 64 {
+			alive &= 1<<uint(rest) - 1
+		}
+		for alive != 0 {
+			e := &edges[base+bits.TrailingZeros64(alive)]
+			alive &= alive - 1
+			s.uf.Union(int(e.A), int(e.B))
+		}
+	}
+	return s.uf
+}
+
+// AnyConnectedBits is AnyConnected over a packed dead-edge set.
+func (s *Scratch) AnyConnectedBits(deadEdges Bitset, from, to []NodeID) bool {
+	return s.anyConnected(s.ComponentsBits(deadEdges), from, to)
+}
+
+func (s *Scratch) anyConnected(uf *UnionFind, from, to []NodeID) bool {
 	stamp := s.nextStamp()
 	for _, n := range from {
 		s.seen[uf.Find(int(n))] = stamp

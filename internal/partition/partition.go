@@ -90,16 +90,21 @@ func MeanFragmentation(net *topology.Network, m failure.Model, spacingKm float64
 	if trials <= 0 {
 		return nil, errors.New("partition: trials must be positive")
 	}
+	plan, err := failure.Compile(net, m, spacingKm)
+	if err != nil {
+		return nil, err
+	}
 	root := xrand.New(seed)
 	agg := &Fragmentation{RegionSplit: map[geo.Region]int{}}
 	regionTotals := map[geo.Region]float64{}
 	var comps, largest, isolated float64
+	dead := plan.NewDead()
+	deadBools := make([]bool, plan.NumCables())
 	for ti := 0; ti < trials; ti++ {
-		dead, err := failure.SampleCableDeaths(net, m, spacingKm, root.Split(uint64(ti)))
-		if err != nil {
-			return nil, err
-		}
-		f, err := Analyze(net, dead)
+		rng := root.SplitAt(uint64(ti))
+		plan.SampleInto(dead, &rng)
+		dead.Expand(deadBools) // Analyze's map-heavy walk still speaks []bool
+		f, err := Analyze(net, deadBools)
 		if err != nil {
 			return nil, err
 		}
@@ -334,32 +339,40 @@ func pairSurvival(net *topology.Network, m failure.Model, spacingKm float64, tri
 	if trials <= 0 {
 		return 0, errors.New("partition: trials must be positive")
 	}
-	a := nodesOf(net, countryA)
-	b := nodesOf(net, countryB)
+	a := nodeIDsOf(net, countryA)
+	b := nodeIDsOf(net, countryB)
 	if len(a) == 0 || len(b) == 0 {
 		return 0, fmt.Errorf("partition: no nodes for %q or %q", countryA, countryB)
 	}
-	g := net.Graph()
+	plan, err := failure.Compile(net, m, spacingKm)
+	if err != nil {
+		return 0, err
+	}
+	scratch := net.Graph().NewScratch()
+	dead := plan.NewDead()
+	var deadEdges graph.Bitset
 	root := xrand.New(seed)
 	ok := 0
 	for ti := 0; ti < trials; ti++ {
-		dead, err := failure.SampleCableDeaths(net, m, spacingKm, root.Split(uint64(ti)))
-		if err != nil {
-			return 0, err
-		}
-		labels, _ := g.Components(net.AliveMask(dead))
-		seen := map[int]bool{}
-		for _, n := range a {
-			seen[labels[n]] = true
-		}
-		for _, n := range b {
-			if seen[labels[n]] {
-				ok++
-				break
-			}
+		rng := root.SplitAt(uint64(ti))
+		plan.SampleInto(dead, &rng)
+		deadEdges = net.DeadEdgeBitsInto(deadEdges, dead)
+		if scratch.AnyConnectedBits(deadEdges, a, b) {
+			ok++
 		}
 	}
 	return float64(ok) / float64(trials), nil
+}
+
+// nodeIDsOf is nodesOf as graph node IDs, for the scratch connectivity
+// queries.
+func nodeIDsOf(net *topology.Network, target string) []graph.NodeID {
+	xs := nodesOf(net, target)
+	out := make([]graph.NodeID, len(xs))
+	for i, x := range xs {
+		out[i] = graph.NodeID(x)
+	}
+	return out
 }
 
 // nodesOf resolves a country code or "region:<name>" target.

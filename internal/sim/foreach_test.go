@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachRunsEachIndexOnce covers the dispatch-shape edge cases: n
+// smaller than the worker pool, a serial pool, a pool that defaults from
+// GOMAXPROCS, and an empty task list. Every index must run exactly once.
+func TestForEachRunsEachIndexOnce(t *testing.T) {
+	cases := []struct {
+		name       string
+		n, workers int
+	}{
+		{"serial", 5, 1},
+		{"n-less-than-workers", 3, 100},
+		{"n-equals-workers", 4, 4},
+		{"default-workers", 6, 0},
+		{"negative-workers", 6, -3},
+		{"empty", 0, 4},
+		{"negative-n", -2, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runs := make([]atomic.Int64, max(tc.n, 0))
+			err := ForEach(context.Background(), tc.n, tc.workers, func(i int) error {
+				runs[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("ForEach: %v", err)
+			}
+			for i := range runs {
+				if got := runs[i].Load(); got != 1 {
+					t.Errorf("index %d ran %d times, want 1", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestForEachCancellationMidDispatch cancels the context from inside a
+// task: the fan-out must stop dispatching new work and surface
+// context.Canceled rather than finishing the remaining indices.
+func TestForEachCancellationMidDispatch(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 10000
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var executed atomic.Int64
+			err := ForEach(ctx, n, workers, func(i int) error {
+				if executed.Add(1) == 3 {
+					cancel()
+				}
+				return nil
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if got := executed.Load(); got >= n {
+				t.Fatalf("executed %d of %d tasks despite cancellation", got, n)
+			}
+		})
+	}
+}
+
+// TestForEachLowestIndexedErrorWins pins the error-selection contract:
+// when several workers fail concurrently, the error returned is the one
+// from the lowest index that actually ran and errored.
+func TestForEachLowestIndexedErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 64
+			taskErrs := make([]error, n)
+			for i := range taskErrs {
+				taskErrs[i] = fmt.Errorf("task %d failed", i)
+			}
+			var mu sync.Mutex
+			var errored []int
+			err := ForEach(context.Background(), n, workers, func(i int) error {
+				mu.Lock()
+				errored = append(errored, i)
+				mu.Unlock()
+				return taskErrs[i]
+			})
+			if err == nil {
+				t.Fatal("ForEach returned nil despite failing tasks")
+			}
+			lowest := n
+			for _, i := range errored {
+				if i < lowest {
+					lowest = i
+				}
+			}
+			if err != taskErrs[lowest] {
+				t.Fatalf("err = %v, want error of lowest errored index %d", err, lowest)
+			}
+		})
+	}
+}
+
+// TestForEachWorkerSlotExclusivity proves the arena-safety contract of
+// ForEachWorker: a worker slot is owned by at most one goroutine at a
+// time, so per-slot scratch state needs no locking.
+func TestForEachWorkerSlotExclusivity(t *testing.T) {
+	const n, workers = 500, 8
+	occupancy := make([]atomic.Int64, workers)
+	var slotSeen [workers]atomic.Bool
+	err := ForEachWorker(context.Background(), n, workers, func(worker, i int) error {
+		if worker < 0 || worker >= workers {
+			return fmt.Errorf("worker slot %d out of range [0,%d)", worker, workers)
+		}
+		slotSeen[worker].Store(true)
+		if c := occupancy[worker].Add(1); c != 1 {
+			return fmt.Errorf("worker slot %d occupied by %d goroutines", worker, c)
+		}
+		defer occupancy[worker].Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachWorkerClampsSlots checks that with fewer tasks than workers
+// the slot numbers are clamped to the task count, keeping per-worker
+// arena slices indexable by slot.
+func TestForEachWorkerClampsSlots(t *testing.T) {
+	const n, workers = 3, 100
+	var maxSlot atomic.Int64
+	err := ForEachWorker(context.Background(), n, workers, func(worker, i int) error {
+		for {
+			cur := maxSlot.Load()
+			if int64(worker) <= cur || maxSlot.CompareAndSwap(cur, int64(worker)) {
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxSlot.Load(); got >= n {
+		t.Fatalf("saw worker slot %d with only %d tasks", got, n)
+	}
+}

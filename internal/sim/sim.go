@@ -8,11 +8,14 @@
 // byte-identical to serial ones.
 //
 // Performance: every run compiles its failure model into a failure.Plan
-// once, and each worker reuses one dead-mask scratch slice, so the
-// steady-state trial loop performs zero allocations. Trials are dispatched
-// by an atomic counter rather than a feeder channel — there is no feeder
-// goroutine to deadlock when workers stop early, and an error (now only
-// possible at compile/validate time) can never strand a blocked send.
+// once, and each worker reuses one packed dead-cable bitset, so the
+// steady-state trial loop performs zero allocations. Sweeps go further:
+// each sweep worker owns an Arena — a reusable compiled plan, bitset, and
+// result storage — so a full figure sweep allocates only its output.
+// Trials are dispatched by an atomic counter rather than a feeder channel —
+// there is no feeder goroutine to deadlock when workers stop early, and an
+// error (now only possible at compile/validate time) can never strand a
+// blocked send.
 package sim
 
 import (
@@ -27,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"gicnet/internal/failure"
+	"gicnet/internal/graph"
 	"gicnet/internal/stats"
 	"gicnet/internal/topology"
 	"gicnet/internal/xrand"
@@ -123,7 +127,23 @@ func RunPlan(ctx context.Context, plan *failure.Plan, cfg Config) (*Result, erro
 	if cfg.Trials <= 0 {
 		return nil, errors.New("sim: trials must be positive")
 	}
+	res := &Result{}
+	outcomes := make([]failure.Outcome, cfg.Trials)
+	if err := runPlanInto(ctx, plan, cfg, res, outcomes, nil); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
 
+// runPlanInto is the trial engine writing into caller-owned memory: res is
+// overwritten, outcomes (length cfg.Trials) backs res.Outcomes, and dead —
+// when non-nil and sized for the plan — is the serial path's scratch
+// bitset. Trial ti's RNG is split from the seed by ti, so the result is
+// identical for every worker count.
+func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Result, outcomes []failure.Outcome, dead graph.Bitset) error {
+	if cfg.Trials <= 0 {
+		return errors.New("sim: trials must be positive")
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -132,49 +152,50 @@ func RunPlan(ctx context.Context, plan *failure.Plan, cfg Config) (*Result, erro
 		workers = cfg.Trials
 	}
 
-	root := xrand.New(cfg.Seed)
-	outcomes := make([]failure.Outcome, cfg.Trials)
-
-	runTrial := func(dead []bool, ti int) {
-		rng := root.SplitAt(uint64(ti))
-		plan.SampleInto(dead, &rng)
-		outcomes[ti] = plan.Evaluate(dead)
-	}
-
 	if workers == 1 {
-		dead := make([]bool, plan.NumCables())
+		// Keep the RNG root on the stack: the serial path is the inner loop
+		// of arena sweeps and must not allocate.
+		root := *xrand.New(cfg.Seed)
+		if len(dead) != graph.BitsetWords(plan.NumCables()) {
+			dead = plan.NewDead()
+		}
 		for ti := 0; ti < cfg.Trials; ti++ {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
-			runTrial(dead, ti)
+			rng := root.SplitAt(uint64(ti))
+			plan.SampleInto(dead, &rng)
+			outcomes[ti] = plan.Evaluate(dead)
 		}
 	} else {
 		// Workers claim trial indices from an atomic counter; each owns a
-		// reusable dead mask, so the loop allocates nothing per trial.
+		// reusable dead bitset, so the loop allocates nothing per trial.
+		root := xrand.New(cfg.Seed)
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				dead := make([]bool, plan.NumCables())
+				dead := plan.NewDead()
 				for {
 					ti := int(next.Add(1)) - 1
 					if ti >= cfg.Trials || ctx.Err() != nil {
 						return
 					}
-					runTrial(dead, ti)
+					rng := root.SplitAt(uint64(ti))
+					plan.SampleInto(dead, &rng)
+					outcomes[ti] = plan.Evaluate(dead)
 				}
 			}()
 		}
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
-	res := &Result{
+	*res = Result{
 		Network:   plan.Network().Name,
 		Model:     plan.ModelName(),
 		SpacingKm: plan.SpacingKm(),
@@ -184,7 +205,63 @@ func RunPlan(ctx context.Context, plan *failure.Plan, cfg Config) (*Result, erro
 		res.CableFrac.Add(o.CableFrac)
 		res.NodeFrac.Add(o.NodeFrac)
 	}
-	return res, nil
+	return nil
+}
+
+// Arena is per-worker reusable state for repeated runs: a compiled plan, a
+// dead-cable bitset, and result storage, all recycled call after call so
+// steady-state sweep cells allocate nothing. An Arena is not safe for
+// concurrent use — give each worker its own. The zero value is ready.
+type Arena struct {
+	plan     failure.Plan
+	dead     graph.Bitset
+	outcomes []failure.Outcome
+	res      Result
+	uniforms map[float64]failure.Model // memoized boxed sweep models
+}
+
+// uniformModel returns a Uniform model for p, memoized so repeated sweeps
+// through the same probabilities don't re-box the interface value per point.
+func (a *Arena) uniformModel(p float64) failure.Model {
+	if m, ok := a.uniforms[p]; ok {
+		return m
+	}
+	if a.uniforms == nil {
+		a.uniforms = make(map[float64]failure.Model)
+	}
+	m := failure.Uniform{P: p}
+	a.uniforms[p] = m
+	return m
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// RunModel compiles cfg's model against net (reusing the arena's plan
+// storage) and runs the trials. The returned Result and its Outcomes are
+// owned by the arena and valid only until the next call; callers that keep
+// them must copy. The network is assumed validated.
+func (a *Arena) RunModel(ctx context.Context, net *topology.Network, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cap(a.outcomes) < cfg.Trials {
+		a.outcomes = make([]failure.Outcome, cfg.Trials)
+	}
+	if err := a.runInto(ctx, net, cfg, &a.res, a.outcomes[:cfg.Trials]); err != nil {
+		return nil, err
+	}
+	return &a.res, nil
+}
+
+// runInto compiles into the arena's plan and runs cfg, writing the result
+// into caller-owned res/outcomes storage.
+func (a *Arena) runInto(ctx context.Context, net *topology.Network, cfg Config, res *Result, outcomes []failure.Outcome) error {
+	if err := failure.CompileInto(&a.plan, net, cfg.Model, cfg.SpacingKm); err != nil {
+		return err
+	}
+	a.dead = graph.GrowBitset(a.dead, a.plan.NumCables())
+	return runPlanInto(ctx, &a.plan, cfg, res, outcomes, a.dead)
 }
 
 // ForEach runs fn(0), ..., fn(n-1) across at most workers goroutines
@@ -194,6 +271,14 @@ func RunPlan(ctx context.Context, plan *failure.Plan, cfg Config) (*Result, erro
 // dispatch. fn must be safe to call concurrently and should write results
 // into its own index of a pre-sized slice.
 func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return ForEachWorker(ctx, n, workers, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach passing the worker slot (0..workers-1, after
+// clamping to n) alongside the task index, so callers can thread
+// per-worker arenas through the fan-out: a slot is owned by one goroutine
+// at a time, never two concurrently.
+func ForEachWorker(ctx context.Context, n, workers int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -208,7 +293,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -220,20 +305,20 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() || ctx.Err() != nil {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -261,10 +346,34 @@ type SweepPoint struct {
 //
 // The cfg.Workers budget (0 = GOMAXPROCS) is shared across the sweep:
 // points fan out first, and any budget beyond the point count parallelises
-// trials within each point.
+// trials within each point, with the remainder spread over the first
+// budget%points points. Each point worker owns an Arena, so the sweep's
+// only allocations are its output and the per-worker state.
 func SweepUniform(ctx context.Context, net *topology.Network, cfg Config, ps []float64) ([]SweepPoint, error) {
+	return sweepUniform(ctx, net, cfg, ps, nil)
+}
+
+// SweepUniformArena is SweepUniform reusing a caller-owned arena across
+// points and across calls. The points run serially on the calling
+// goroutine (inner trial parallelism still follows the worker budget);
+// callers parallelise across sweeps instead, holding one arena per worker.
+// Results are byte-identical to SweepUniform's.
+func SweepUniformArena(ctx context.Context, net *topology.Network, cfg Config, ps []float64, a *Arena) ([]SweepPoint, error) {
+	return sweepUniform(ctx, net, cfg, ps, a)
+}
+
+func sweepUniform(ctx context.Context, net *topology.Network, cfg Config, ps []float64, ext *Arena) ([]SweepPoint, error) {
 	out := make([]SweepPoint, len(ps))
-	root := xrand.New(cfg.Seed)
+	if len(ps) == 0 {
+		return out, ctx.Err()
+	}
+	if cfg.Trials <= 0 {
+		return nil, errors.New("sim: trials must be positive")
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: invalid network: %w", err)
+	}
+	root := *xrand.New(cfg.Seed)
 	budget := cfg.Workers
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
@@ -273,22 +382,38 @@ func SweepUniform(ctx context.Context, net *topology.Network, cfg Config, ps []f
 	if pointWorkers > len(ps) {
 		pointWorkers = len(ps)
 	}
-	err := ForEach(ctx, len(ps), pointWorkers, func(i int) error {
+	if ext != nil {
+		pointWorkers = 1
+	}
+	inner, rem := budget/pointWorkers, budget%pointWorkers
+	results := make([]Result, len(ps))
+	backing := make([]failure.Outcome, len(ps)*cfg.Trials)
+	arenas := make([]*Arena, pointWorkers)
+	if ext != nil {
+		arenas[0] = ext
+	}
+	err := ForEachWorker(ctx, len(ps), pointWorkers, func(w, i int) error {
+		a := arenas[w]
+		if a == nil {
+			a = NewArena()
+			arenas[w] = a
+		}
 		c := cfg
-		c.Model = failure.Uniform{P: ps[i]}
+		c.Model = a.uniformModel(ps[i])
 		child := root.SplitAt(uint64(i))
 		c.Seed = child.Uint64()
-		if pointWorkers > 0 {
-			c.Workers = budget / pointWorkers
+		c.Workers = inner
+		if i < rem {
+			c.Workers++
 		}
 		if c.Workers < 1 {
 			c.Workers = 1
 		}
-		r, err := Run(ctx, net, c)
-		if err != nil {
+		outcomes := backing[i*cfg.Trials : (i+1)*cfg.Trials : (i+1)*cfg.Trials]
+		if err := a.runInto(ctx, net, c, &results[i], outcomes); err != nil {
 			return fmt.Errorf("sweep p=%g: %w", ps[i], err)
 		}
-		out[i] = SweepPoint{P: ps[i], Result: r}
+		out[i] = SweepPoint{P: ps[i], Result: &results[i]}
 		return nil
 	})
 	if err != nil {

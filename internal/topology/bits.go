@@ -1,0 +1,143 @@
+package topology
+
+import (
+	"math/bits"
+
+	"gicnet/internal/graph"
+)
+
+// IncidenceBits is the bit-packed node↔cable incidence the Monte Carlo
+// kernel evaluates trials against. It depends only on network topology —
+// never on the failure model or repeater spacing — so it is built once per
+// network and shared by every compiled plan.
+//
+// The key query is "are all cables incident to node i dead?" against a
+// packed dead-cable Bitset: node i's incident cables are covered by the
+// (word, mask) pairs WordIdx/WordMask[NodeStart[i]:NodeStart[i+1]], and the
+// node is unreachable iff dead[WordIdx[k]] & WordMask[k] == WordMask[k] for
+// every pair k. Real nodes touch a handful of cables, so this is one or two
+// word ANDs instead of an index-chasing loop.
+type IncidenceBits struct {
+	// Words is the word length of a cable Bitset for this network.
+	Words int
+
+	// Node → covering (word, mask) pairs over its incident cables.
+	NodeStart []int32
+	WordIdx   []int32
+	WordMask  []uint64
+
+	// Cable → distinct endpoint nodes (the reverse incidence CSR): cable
+	// ci touches CableNodes[CableStart[ci]:CableStart[ci+1]].
+	CableStart []int32
+	CableNodes []int32
+
+	// MinCable[i] is node i's lowest incident cable index, or -1 for nodes
+	// with no cables. A fully-dead node is counted exactly once by visiting
+	// it from its lowest dead incident cable.
+	MinCable []int32
+}
+
+// IncidenceBits returns the bit-packed incidence view, built once and
+// cached. The returned struct is shared and must not be modified.
+func (n *Network) IncidenceBits() *IncidenceBits {
+	n.bitsOnce.Do(n.buildIncidenceBits)
+	return n.incBits
+}
+
+func (n *Network) buildIncidenceBits() {
+	start, list := n.CableIncidence()
+	nn := len(n.Nodes)
+	ib := &IncidenceBits{
+		Words:     graph.BitsetWords(len(n.Cables)),
+		NodeStart: make([]int32, nn+1),
+		MinCable:  make([]int32, nn),
+	}
+
+	// Node → (word, mask) pairs. Each node's cable list is ascending (see
+	// buildIncidence), so cables sharing a word are adjacent and the pair
+	// count is the number of distinct words per node.
+	total := int32(0)
+	for i := 0; i < nn; i++ {
+		ib.MinCable[i] = -1
+		prev := int32(-1)
+		for _, ci := range list[start[i]:start[i+1]] {
+			if ib.MinCable[i] < 0 {
+				ib.MinCable[i] = ci
+			}
+			if w := ci >> 6; w != prev {
+				prev = w
+				total++
+			}
+		}
+		ib.NodeStart[i+1] = total
+	}
+	ib.WordIdx = make([]int32, total)
+	ib.WordMask = make([]uint64, total)
+	pos := 0
+	for i := 0; i < nn; i++ {
+		prev := int32(-1)
+		for _, ci := range list[start[i]:start[i+1]] {
+			if w := ci >> 6; w != prev {
+				prev = w
+				ib.WordIdx[pos] = w
+				pos++
+			}
+			ib.WordMask[pos-1] |= 1 << (uint(ci) & 63)
+		}
+	}
+
+	// Cable → distinct endpoint nodes, deduped with the same last-cable
+	// trick as buildIncidence.
+	nc := len(n.Cables)
+	last := make([]int, nn)
+	counts := make([]int32, nc+1)
+	for pass := 0; pass < 2; pass++ {
+		for i := range last {
+			last[i] = -1
+		}
+		for ci, c := range n.Cables {
+			for _, s := range c.Segments {
+				for _, ni := range [2]int{s.A, s.B} {
+					if last[ni] == ci {
+						continue
+					}
+					last[ni] = ci
+					if pass == 0 {
+						counts[ci+1]++
+					} else {
+						ib.CableNodes[counts[ci]] = int32(ni)
+						counts[ci]++
+					}
+				}
+			}
+		}
+		if pass == 0 {
+			for c := 1; c <= nc; c++ {
+				counts[c] += counts[c-1]
+			}
+			ib.CableStart = append([]int32(nil), counts...)
+			ib.CableNodes = make([]int32, counts[nc])
+		}
+	}
+	n.incBits = ib
+}
+
+// DeadEdgeBitsInto projects per-cable death onto graph edges as a packed
+// bitset: every segment edge of a dead cable is marked dead. It is the
+// bitset form of AliveMaskInto (with inverted polarity) and reuses dst's
+// backing array, so per-worker scratch projects trials without allocating.
+func (n *Network) DeadEdgeBitsInto(dst graph.Bitset, cableDead graph.Bitset) graph.Bitset {
+	g := n.Graph()
+	dst = graph.GrowBitset(dst, g.NumEdges())
+	// Walk only the set bits: each dead cable marks its contiguous edge-ID
+	// block with word fills instead of testing every edge individually.
+	for wi, w := range cableDead {
+		base := wi << 6
+		for w != 0 {
+			ci := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			dst.SetRange(int(n.cableEdgeStart[ci]), int(n.cableEdgeStart[ci+1]))
+		}
+	}
+	return dst
+}

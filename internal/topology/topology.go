@@ -15,6 +15,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"gicnet/internal/geo"
 	"gicnet/internal/graph"
@@ -81,14 +82,18 @@ type Network struct {
 	Nodes  []Node
 	Cables []Cable
 
-	graphOnce sync.Once
-	g         *graph.Graph
-	edgeCable []int // graph edge id -> cable index
+	graphOnce      sync.Once
+	g              *graph.Graph
+	edgeCable      []int   // graph edge id -> cable index
+	cableEdgeStart []int32 // cable ci's edges are IDs [start[ci], start[ci+1])
 
 	incOnce        sync.Once
 	nodeCableStart []int32 // CSR offsets: node i's cables are nodeCables[start[i]:start[i+1]]
 	nodeCables     []int32 // distinct incident cable indices, grouped by node
 	connectedCount int     // nodes with at least one incident cable
+
+	bitsOnce sync.Once
+	incBits  *IncidenceBits
 
 	bandOnce     sync.Once
 	bands        []geo.Band
@@ -96,6 +101,8 @@ type Network struct {
 	pathBandOnce sync.Once
 	pathBands    []geo.Band
 	pathBandOK   []bool
+
+	validated atomic.Bool // set once Validate has succeeded
 }
 
 // Errors returned by Validate.
@@ -107,7 +114,20 @@ var (
 )
 
 // Validate checks structural integrity. It must pass before Graph is used.
+// A successful check is cached (sweeps re-validate per point), under the
+// same contract as the derived-view caches: don't mutate after first use.
 func (n *Network) Validate() error {
+	if n.validated.Load() {
+		return nil
+	}
+	if err := n.validate(); err != nil {
+		return err
+	}
+	n.validated.Store(true)
+	return nil
+}
+
+func (n *Network) validate() error {
 	seen := make(map[string]bool, len(n.Nodes))
 	for _, nd := range n.Nodes {
 		if seen[nd.Name] {
@@ -146,11 +166,15 @@ func (n *Network) Graph() *graph.Graph {
 			g.AddNode(nd.Name)
 		}
 		n.edgeCable = nil
+		n.cableEdgeStart = make([]int32, len(n.Cables)+1)
 		for ci, c := range n.Cables {
 			for _, s := range c.Segments {
 				g.AddEdge(graph.NodeID(s.A), graph.NodeID(s.B))
 				n.edgeCable = append(n.edgeCable, ci)
 			}
+			// Segments are added cable by cable, so each cable owns a
+			// contiguous block of edge IDs.
+			n.cableEdgeStart[ci+1] = int32(len(n.edgeCable))
 		}
 		n.g = g
 	})

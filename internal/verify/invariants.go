@@ -2,6 +2,7 @@ package verify
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"gicnet/internal/dataset"
@@ -53,6 +54,7 @@ func Invariants(w *dataset.World, seed uint64) []Result {
 		checkConnectivityNeverImproves(w, seed),
 		checkUnionFindBFSAgreement(seed),
 		checkPlanMatchesDirectPath(w, seed),
+		checkSamplerEquivalence(w, seed),
 	}
 }
 
@@ -116,9 +118,9 @@ func checkIntensityMonotoneAnalytic(w *dataset.World) Result {
 
 // checkIntensityMonotoneCoupled is the metamorphic sharpening of the
 // analytic check: with a shared RNG stream, the per-trial dead-cable set at
-// probability p is a subset of the set at any p' > p (for p in (0,1), every
-// repeatered cable consumes exactly one uniform draw on both paths), so
-// cables failed and nodes unreachable must be monotone trial by trial.
+// probability p is a subset of the set at any p' > p (under SampleDense,
+// every repeatered cable consumes exactly one uniform draw for p in (0,1)),
+// so cables failed and nodes unreachable must be monotone trial by trial.
 func checkIntensityMonotoneCoupled(w *dataset.World, seed uint64) Result {
 	const name = "intensity-monotone-coupled"
 	const trials = 16
@@ -131,11 +133,11 @@ func checkIntensityMonotoneCoupled(w *dataset.World, seed uint64) Result {
 		if err != nil {
 			return fail(name, "compile p=%g: %v", p, err)
 		}
-		dead := make([]bool, plan.NumCables())
+		dead := plan.NewDead()
 		root := xrand.New(seed)
 		for ti := 0; ti < trials; ti++ {
 			rng := root.SplitAt(uint64(ti))
-			plan.SampleInto(dead, &rng)
+			plan.SampleDense(dead, &rng)
 			o := plan.Evaluate(dead)
 			cur := trialOutcome{o.CablesFailed, o.NodesUnreachable}
 			if pi > 0 {
@@ -194,20 +196,25 @@ func checkAddedFailuresMonotone(w *dataset.World, seed uint64) Result {
 		if err != nil {
 			return fail(name, "compile %s: %v", net.Name, err)
 		}
-		g := net.Graph()
-		dead := make([]bool, plan.NumCables())
+		scratch := net.Graph().NewScratch()
+		nc := plan.NumCables()
+		dead := plan.NewDead()
+		more := plan.NewDead()
+		var deadEdges graph.Bitset
 		for round := 0; round < rounds; round++ {
 			r := rng.SplitAt(uint64(round))
 			plan.SampleInto(dead, &r)
 			base := plan.Evaluate(dead)
-			baseComponents := g.ComponentCount(net.AliveMask(dead))
+			deadEdges = net.DeadEdgeBitsInto(deadEdges, dead)
+			baseComponents := scratch.ComponentsBits(deadEdges).Sets()
 			// Kill a random batch of additional cables.
-			more := append([]bool(nil), dead...)
-			for k := 0; k < 1+len(more)/20; k++ {
-				more[r.Intn(len(more))] = true
+			more.CopyFrom(dead)
+			for k := 0; k < 1+nc/20; k++ {
+				more.Set(r.Intn(nc))
 			}
 			after := plan.Evaluate(more)
-			afterComponents := g.ComponentCount(net.AliveMask(more))
+			deadEdges = net.DeadEdgeBitsInto(deadEdges, more)
+			afterComponents := scratch.ComponentsBits(deadEdges).Sets()
 			if after.CablesFailed < base.CablesFailed || after.NodesUnreachable < base.NodesUnreachable {
 				return fail(name, "%s round %d: extra failures improved outcome %+v -> %+v",
 					net.Name, round, base, after)
@@ -236,29 +243,31 @@ func checkConnectivityNeverImproves(w *dataset.World, seed uint64) Result {
 	}
 	scratch := net.Graph().NewScratch()
 	rng := xrand.New(seed ^ 0xc0)
-	dead := make([]bool, plan.NumCables())
-	var mask graph.AliveMask
+	nc := plan.NumCables()
+	dead := plan.NewDead()
+	more := plan.NewDead()
+	var deadEdges, moreEdges graph.Bitset
 	checked := 0
 	for round := 0; round < rounds; round++ {
 		r := rng.SplitAt(uint64(round))
 		plan.SampleInto(dead, &r)
-		more := append([]bool(nil), dead...)
-		for k := 0; k < 1+len(more)/10; k++ {
-			more[r.Intn(len(more))] = true
+		more.CopyFrom(dead)
+		for k := 0; k < 1+nc/10; k++ {
+			more.Set(r.Intn(nc))
 		}
+		deadEdges = net.DeadEdgeBitsInto(deadEdges, dead)
+		moreEdges = net.DeadEdgeBitsInto(moreEdges, more)
 		for _, pair := range pairs {
 			from := nodeIDs(net.NodesOfCountry(pair[0]))
 			to := nodeIDs(net.NodesOfCountry(pair[1]))
 			if len(from) == 0 || len(to) == 0 {
 				return fail(name, "pair %v resolves to empty node sets", pair)
 			}
-			mask = net.AliveMaskInto(mask, dead)
-			before := scratch.AnyConnected(mask, from, to)
-			mask = net.AliveMaskInto(mask, more)
-			after := scratch.AnyConnected(mask, from, to)
+			before := scratch.AnyConnectedBits(deadEdges, from, to)
+			after := scratch.AnyConnectedBits(moreEdges, from, to)
 			if after && !before {
 				return fail(name, "round %d: %s-%s disconnected under %d failures but connected under %d",
-					round, pair[0], pair[1], count(dead), count(more))
+					round, pair[0], pair[1], dead.Count(), more.Count())
 			}
 			checked++
 		}
@@ -272,16 +281,6 @@ func nodeIDs(xs []int) []graph.NodeID {
 		out[i] = graph.NodeID(x)
 	}
 	return out
-}
-
-func count(mask []bool) int {
-	n := 0
-	for _, b := range mask {
-		if b {
-			n++
-		}
-	}
-	return n
 }
 
 // checkUnionFindBFSAgreement cross-validates the two connectivity
@@ -342,8 +341,9 @@ func checkUnionFindBFSAgreement(seed uint64) Result {
 }
 
 // checkPlanMatchesDirectPath verifies the compiled fast path against the
-// original model code: same seed, same dead-cable masks, same outcomes.
-// This is the equivalence PR 1 asserted by hand, now executable.
+// original model code: the plan's dense sampler must match SampleCableDeaths
+// draw for draw, and the bitset Evaluate must agree with the graph-level
+// Evaluate on both dense- and sparse-sampled realisations.
 func checkPlanMatchesDirectPath(w *dataset.World, seed uint64) Result {
 	const name = "plan-matches-direct-path"
 	const trials = 8
@@ -353,30 +353,112 @@ func checkPlanMatchesDirectPath(w *dataset.World, seed uint64) Result {
 			if err != nil {
 				return fail(name, "compile %s/%s: %v", net.Name, m.Name(), err)
 			}
-			dead := make([]bool, plan.NumCables())
+			dead := plan.NewDead()
+			bools := make([]bool, plan.NumCables())
 			root := xrand.New(seed ^ 0xe9)
 			for ti := 0; ti < trials; ti++ {
 				rngPlan := root.SplitAt(uint64(ti))
 				rngDirect := root.SplitAt(uint64(ti))
-				plan.SampleInto(dead, &rngPlan)
+				plan.SampleDense(dead, &rngPlan)
 				direct, err := failure.SampleCableDeaths(net, m, 150, &rngDirect)
 				if err != nil {
 					return fail(name, "sample %s/%s: %v", net.Name, m.Name(), err)
 				}
-				for ci := range dead {
-					if dead[ci] != direct[ci] {
+				for ci := range direct {
+					if dead.Get(ci) != direct[ci] {
 						return fail(name, "%s/%s trial %d: plan and direct sampling disagree on cable %d",
 							net.Name, m.Name(), ti, ci)
 					}
 				}
 				po := plan.Evaluate(dead)
-				fo := failure.Evaluate(net, dead)
+				fo := failure.Evaluate(net, direct)
 				if po != fo {
 					return fail(name, "%s/%s trial %d: plan outcome %+v != direct outcome %+v",
+						net.Name, m.Name(), ti, po, fo)
+				}
+				// The sparse sampler draws a different stream; its
+				// realisations must still evaluate identically on both paths.
+				rngSparse := root.SplitAt(uint64(ti) ^ 0x5a)
+				plan.SampleInto(dead, &rngSparse)
+				dead.Expand(bools)
+				if po, fo := plan.Evaluate(dead), failure.Evaluate(net, bools); po != fo {
+					return fail(name, "%s/%s trial %d: sparse realisation: plan outcome %+v != direct outcome %+v",
 						net.Name, m.Name(), ti, po, fo)
 				}
 			}
 		}
 	}
 	return pass(name, "plan sampling and evaluation bit-identical to the direct path on all networks")
+}
+
+// checkSamplerEquivalence is the old-vs-new sampler distribution proof: the
+// sparse geometric-skip sampler must produce the same per-cable death
+// distribution as the dense one-Bernoulli-per-cable path. Over N trials each
+// cable's death count D_i is Binomial(N, p_i); the standardised statistic
+// X = sum_i (D_i - N p_i)^2 / (N p_i (1-p_i)) over the k cables with
+// p in (0,1) is chi-square with k degrees of freedom, so |X - k| stays well
+// inside 6*sqrt(2k) for any honest sampler (a ~1e-9 false-positive bound).
+// Both samplers are tested against the analytic marginals, and against each
+// other via the two-sample homogeneity form of the same statistic.
+func checkSamplerEquivalence(w *dataset.World, seed uint64) Result {
+	const name = "sampler-chi-square-equivalence"
+	const trials = 100000
+	net := w.Submarine
+	plan, err := failure.Compile(net, failure.Uniform{P: 0.003}, 150)
+	if err != nil {
+		return fail(name, "compile: %v", err)
+	}
+	nc := plan.NumCables()
+	dead := plan.NewDead()
+	sparse := make([]float64, nc) // death counts per cable
+	dense := make([]float64, nc)
+	rootSparse := xrand.New(seed ^ 0xc415)
+	rootDense := xrand.New(seed ^ 0xd295)
+	for ti := 0; ti < trials; ti++ {
+		rng := rootSparse.SplitAt(uint64(ti))
+		plan.SampleInto(dead, &rng)
+		for ci := 0; ci < nc; ci++ {
+			if dead.Get(ci) {
+				sparse[ci]++
+			}
+		}
+		rng = rootDense.SplitAt(uint64(ti))
+		plan.SampleDense(dead, &rng)
+		for ci := 0; ci < nc; ci++ {
+			if dead.Get(ci) {
+				dense[ci]++
+			}
+		}
+	}
+	k := 0.0
+	var xSparse, xDense, xCross float64
+	for ci := 0; ci < nc; ci++ {
+		p := plan.DeathProb(ci)
+		if p <= 0 || p >= 1 {
+			continue
+		}
+		k++
+		v := float64(trials) * p * (1 - p)
+		dS := sparse[ci] - float64(trials)*p
+		dD := dense[ci] - float64(trials)*p
+		xSparse += dS * dS / v
+		xDense += dD * dD / v
+		dC := sparse[ci] - dense[ci]
+		xCross += dC * dC / (2 * v)
+	}
+	if k == 0 {
+		return fail(name, "no cables with non-degenerate probability")
+	}
+	bound := 6 * math.Sqrt(2*k)
+	for _, c := range []struct {
+		label string
+		x     float64
+	}{{"sparse-vs-analytic", xSparse}, {"dense-vs-analytic", xDense}, {"sparse-vs-dense", xCross}} {
+		if math.Abs(c.x-k) > bound {
+			return fail(name, "%s: chi-square %0.1f for %0.0f dof exceeds %0.0f±%0.1f over %d trials",
+				c.label, c.x, k, k, bound, trials)
+		}
+	}
+	return pass(name, "per-cable death counts over %d trials: chi-square %0.1f/%0.1f/%0.1f vs %0.0f dof (bound ±%0.1f)",
+		trials, xSparse, xDense, xCross, k, bound)
 }

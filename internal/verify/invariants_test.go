@@ -10,8 +10,8 @@ import (
 
 func TestInvariantsHoldOnDefaultWorld(t *testing.T) {
 	results := Invariants(testWorld(t), dataset.DefaultSeed)
-	if len(results) != 8 {
-		t.Fatalf("invariant count = %d, want 8", len(results))
+	if len(results) != 9 {
+		t.Fatalf("invariant count = %d, want 9", len(results))
 	}
 	for _, r := range results {
 		if !r.Passed {
