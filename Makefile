@@ -41,11 +41,13 @@ validate:
 update-golden:
 	$(GO) run ./cmd/validate -update
 
-# Short fuzz runs over the network-JSON parser and the failure-plan
-# compiler; each also replays its checked-in seed corpus.
+# Short fuzz runs over the network-JSON parser, the failure-plan compiler,
+# and the core-contraction connectivity engine; each also replays its
+# checked-in seed corpus.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadNetworkJSON$$' -fuzztime $(FUZZTIME) ./internal/dataset
 	$(GO) test -run '^$$' -fuzz '^FuzzPlanCompile$$' -fuzztime $(FUZZTIME) ./internal/failure
+	$(GO) test -run '^$$' -fuzz '^FuzzCoreContraction$$' -fuzztime $(FUZZTIME) ./internal/graph
 
 # Quick hot-path benchmarks with allocation counts.
 bench:
@@ -56,6 +58,8 @@ bench-snapshot:
 	$(GO) run ./cmd/benchdiff -bench '.' -pkg . -count 3
 
 # Perf gate: rerun the latest BENCH_*.json snapshot's benchmark selection
-# and fail if any common benchmark regressed more than 15% ns/op.
+# and fail if any common benchmark regressed more than 15% ns/op, or if the
+# contracted connectivity trial loop falls below 2x over the direct engine
+# (the speedup gates hardcoded in cmd/benchdiff).
 bench-check:
 	$(GO) run ./cmd/benchdiff -check

@@ -16,7 +16,9 @@ import (
 	"gicnet/internal/dataset"
 	"gicnet/internal/experiments"
 	"gicnet/internal/failure"
+	"gicnet/internal/geo"
 	"gicnet/internal/gic"
+	"gicnet/internal/graph"
 	"gicnet/internal/grid"
 	"gicnet/internal/partition"
 	"gicnet/internal/recovery"
@@ -448,6 +450,62 @@ func BenchmarkPlanCompile(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTrialLoopConnectivity races the two connectivity engines on one
+// steady-state country-analysis trial (sample + us↔Europe verdict) at a
+// low-probability sweep point, where the direct path's full cable→edge
+// projection dominates. `make bench-check` gates "contracted" at ≥2× over
+// "direct" — the speedup the core-contraction subsystem exists to deliver.
+func BenchmarkTrialLoopConnectivity(b *testing.B) {
+	w := benchWorld(b)
+	net := w.Submarine
+	plan, err := failure.Compile(net, failure.Uniform{P: 0.001}, 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	from := benchNodeIDs(net.NodesOfCountry("us"))
+	var to []graph.NodeID
+	for i, nd := range net.Nodes {
+		if nd.HasCoord && geo.RegionOf(nd.Coord) == geo.Region("europe") {
+			to = append(to, graph.NodeID(i))
+		}
+	}
+	if len(from) == 0 || len(to) == 0 {
+		b.Fatal("empty benchmark node sets")
+	}
+	scratch := net.Graph().NewScratch()
+	dead := plan.NewDead()
+	root := xrand.New(dataset.DefaultSeed)
+	b.Run("direct", func(b *testing.B) {
+		var deadEdges graph.Bitset
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rng := root.SplitAt(uint64(i))
+			plan.SampleInto(dead, &rng)
+			deadEdges = net.DeadEdgeBitsInto(deadEdges, dead)
+			_ = scratch.AnyConnectedBits(deadEdges, from, to)
+		}
+	})
+	b.Run("contracted", func(b *testing.B) {
+		cc := plan.Contraction()
+		fromS := cc.SupersOf(nil, from)
+		toS := cc.SupersOf(nil, to)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rng := root.SplitAt(uint64(i))
+			plan.SampleInto(dead, &rng)
+			_ = scratch.AnyConnectedSupers(cc, dead, fromS, toS)
+		}
+	})
+}
+
+func benchNodeIDs(xs []int) []graph.NodeID {
+	out := make([]graph.NodeID, len(xs))
+	for i, x := range xs {
+		out[i] = graph.NodeID(x)
+	}
+	return out
 }
 
 // BenchmarkPairConnectivity exercises the country-analysis trial loop

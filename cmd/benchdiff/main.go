@@ -147,6 +147,73 @@ func main() {
 			fmt.Printf("bench-check passed: no benchmark regressed more than %.0f%% ns/op\n", *maxRegress)
 		}
 	}
+	if *check {
+		if failed := checkSpeedups(snap, *pkgs, *benchtime); len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: speedup gate failed: %s\n", strings.Join(failed, "; "))
+			os.Exit(1)
+		}
+	}
+}
+
+// speedupGates are performance claims the gate re-proves on every run, not
+// just guards against regression: Fast must beat Slow by at least MinRatio
+// in the fresh measurements. Both names must appear in the run's selection
+// for a gate to apply.
+var speedupGates = []struct {
+	Fast, Slow string
+	MinRatio   float64
+}{
+	// The offline-connectivity claim (DESIGN.md "Core contraction"): the
+	// contracted country trial loop is at least 2x faster than the direct
+	// full-graph engine at low-probability sweep points.
+	{"BenchmarkTrialLoopConnectivity/contracted", "BenchmarkTrialLoopConnectivity/direct", 2},
+}
+
+// checkSpeedups verifies every applicable speedup gate, rerunning both
+// sides of a failing pair once (keeping each side's fastest time) before
+// declaring failure, mirroring the noise handling of retry.
+func checkSpeedups(snap *Snapshot, pkgs, benchtime string) []string {
+	byName := make(map[string]float64, len(snap.Results))
+	for _, r := range snap.Results {
+		byName[r.Name] = r.NsPerOp
+	}
+	var failed []string
+	for _, g := range speedupGates {
+		fast, okF := byName[g.Fast]
+		slow, okS := byName[g.Slow]
+		if !okF || !okS {
+			continue
+		}
+		if fast*g.MinRatio > slow {
+			fmt.Printf("rerunning %s and %s to confirm speedup shortfall\n", g.Fast, g.Slow)
+			// go test splits -bench on "/" before matching, so the two
+			// sub-benchmarks cannot share one alternation; rerun each side
+			// with its own anchored selector.
+			for _, name := range []string{g.Fast, g.Slow} {
+				rerun, err := run(anchored(name), pkgs, 1, benchtime)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchdiff: rerun:", err)
+					continue
+				}
+				for _, r := range rerun.Results {
+					if r.Name == g.Fast && r.NsPerOp < fast {
+						fast = r.NsPerOp
+					}
+					if r.Name == g.Slow && r.NsPerOp < slow {
+						slow = r.NsPerOp
+					}
+				}
+			}
+		}
+		if fast*g.MinRatio > slow {
+			failed = append(failed, fmt.Sprintf("%s is only %.2fx faster than %s (want >=%.0fx)",
+				g.Fast, slow/fast, g.Slow, g.MinRatio))
+			continue
+		}
+		fmt.Printf("speedup gate passed: %s is %.1fx faster than %s (want >=%.0fx)\n",
+			g.Fast, slow/fast, g.Slow, g.MinRatio)
+	}
+	return failed
 }
 
 // latestSnapshot picks the newest BENCH_*.json in the repository root by

@@ -16,13 +16,20 @@ import (
 	"gicnet/internal/failure"
 	"gicnet/internal/geo"
 	"gicnet/internal/graph"
+	"gicnet/internal/sim"
 	"gicnet/internal/topology"
-	"gicnet/internal/xrand"
 )
 
 // Analyzer runs resilience analyses over a generated world.
 type Analyzer struct {
 	World *dataset.World
+
+	// DirectConnectivity forces the connectivity trial loops onto the
+	// full-graph union-find reference path instead of the plan's core
+	// contraction. The two engines are verdict-identical (pinned by the
+	// contracted-direct-parity invariant); the flag exists for that proof
+	// and for benchmarking, not for production use.
+	DirectConnectivity bool
 }
 
 // NewAnalyzer wraps a world.
@@ -82,44 +89,22 @@ type Connectivity struct {
 	Trials int
 }
 
-// pairScratch bundles the compiled plan and per-trial scratch (dead-cable
-// and dead-edge bitsets, union-find) one connectivity estimate needs, so a
-// report that asks about many pairs compiles once and the trial loops
-// allocate nothing.
-type pairScratch struct {
-	plan      *failure.Plan
-	scratch   *graph.Scratch
-	dead      graph.Bitset
-	deadEdges graph.Bitset
-}
-
-func newPairScratch(net *topology.Network, m failure.Model, spacingKm float64) (*pairScratch, error) {
-	plan, err := failure.Compile(net, m, spacingKm)
-	if err != nil {
-		return nil, err
-	}
-	return &pairScratch{
-		plan:    plan,
-		scratch: net.Graph().NewScratch(),
-		dead:    plan.NewDead(),
-	}, nil
-}
-
 // PairConnectivity estimates the probability that from and to remain
 // connected in the submarine network under the model at the given spacing.
 func (a *Analyzer) PairConnectivity(ctx context.Context, m failure.Model, spacingKm float64, trials int, seed uint64, from, to Target) (Connectivity, error) {
-	ps, err := newPairScratch(a.World.Submarine, m, spacingKm)
+	plan, err := failure.Compile(a.World.Submarine, m, spacingKm)
 	if err != nil {
 		return Connectivity{}, err
 	}
-	return a.pairConnectivity(ctx, ps, trials, seed, from, to)
+	return a.pairConnectivity(ctx, plan, trials, seed, from, to)
 }
 
-// pairConnectivity is PairConnectivity against an already-compiled
-// pairScratch: the trial loop samples into a packed dead-cable bitset,
-// projects it onto graph edges, and asks the union-find whether any node
-// of from still reaches any node of to — all without allocating.
-func (a *Analyzer) pairConnectivity(ctx context.Context, ps *pairScratch, trials int, seed uint64, from, to Target) (Connectivity, error) {
+// pairConnectivity is PairConnectivity against an already-compiled plan.
+// The trial loop is sim.PairSurvival: by default each trial answers on the
+// plan's core contraction with the dead-cable bitset as the query mask, so
+// neither the cable→edge projection nor the full-graph union-find runs per
+// trial.
+func (a *Analyzer) pairConnectivity(ctx context.Context, plan *failure.Plan, trials int, seed uint64, from, to Target) (Connectivity, error) {
 	if trials <= 0 {
 		return Connectivity{}, errors.New("core: trials must be positive")
 	}
@@ -132,24 +117,13 @@ func (a *Analyzer) pairConnectivity(ctx context.Context, ps *pairScratch, trials
 	if err != nil {
 		return Connectivity{}, err
 	}
-	fromIDs := nodeIDs(fromNodes)
-	toIDs := nodeIDs(toNodes)
-	root := xrand.New(seed)
-	survived := 0
-	for ti := 0; ti < trials; ti++ {
-		if err := ctx.Err(); err != nil {
-			return Connectivity{}, err
-		}
-		rng := root.SplitAt(uint64(ti))
-		ps.plan.SampleInto(ps.dead, &rng)
-		ps.deadEdges = net.DeadEdgeBitsInto(ps.deadEdges, ps.dead)
-		if ps.scratch.AnyConnectedBits(ps.deadEdges, fromIDs, toIDs) {
-			survived++
-		}
+	prob, err := sim.PairSurvival(ctx, plan, trials, seed, nodeIDs(fromNodes), nodeIDs(toNodes), a.DirectConnectivity)
+	if err != nil {
+		return Connectivity{}, err
 	}
 	return Connectivity{
 		From: from, To: to,
-		SurvivalProb: float64(survived) / float64(trials),
+		SurvivalProb: prob,
 		Trials:       trials,
 	}, nil
 }
@@ -213,13 +187,14 @@ func (a *Analyzer) CountryAnalysis(ctx context.Context, m failure.Model, spacing
 	}
 	sort.Slice(rep.Cables, func(i, j int) bool { return rep.Cables[i].DeathProb > rep.Cables[j].DeathProb })
 	if len(partners) > 0 {
-		// One compiled plan and one trial scratch serve every partner pair.
-		ps, err := newPairScratch(net, m, spacingKm)
+		// One compiled plan (and its cached contraction) serves every
+		// partner pair.
+		plan, err := failure.Compile(net, m, spacingKm)
 		if err != nil {
 			return nil, err
 		}
 		for _, partner := range partners {
-			c, err := a.pairConnectivity(ctx, ps, trials, seed, target, partner)
+			c, err := a.pairConnectivity(ctx, plan, trials, seed, target, partner)
 			if err != nil {
 				return nil, err
 			}

@@ -33,6 +33,11 @@ type Config struct {
 	Seed uint64
 	// Workers caps simulation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// DirectConnectivity forces the country trial loops onto the
+	// full-graph reference engine instead of the core contraction; used by
+	// the contracted-direct-parity invariant (see internal/verify), which
+	// proves both engines produce identical results.
+	DirectConnectivity bool
 }
 
 // DefaultConfig mirrors the paper: 10 trials per point.
@@ -511,23 +516,44 @@ type CountryResult struct {
 }
 
 // Countries runs the country analysis under S1 and S2 at 150 km spacing.
+// The (state, case) reports are independent — every pair loop derives its
+// trial RNGs from cfg.Seed alone — so they fan out across the cfg.Workers
+// budget; results land at their spec index, keeping report order (and the
+// golden snapshot) identical to the serial loop.
 func Countries(ctx context.Context, w *dataset.World, cfg Config, cases []CountryCase) (*CountryResult, error) {
 	an, err := core.NewAnalyzer(w)
 	if err != nil {
 		return nil, err
 	}
-	out := &CountryResult{Reports: map[string][]*core.CountryReport{}}
-	for _, state := range []struct {
+	an.DirectConnectivity = cfg.DirectConnectivity
+	states := []struct {
 		name  string
 		model failure.Model
-	}{{"S1", failure.S1()}, {"S2", failure.S2()}} {
-		for _, cse := range cases {
-			rep, err := an.CountryAnalysis(ctx, state.model, 150, cfg.Trials*10, cfg.Seed, cse.Target, cse.Partners)
-			if err != nil {
-				return nil, err
-			}
-			out.Reports[state.name] = append(out.Reports[state.name], rep)
+	}{{"S1", failure.S1()}, {"S2", failure.S2()}}
+	type spec struct{ si, ci int }
+	specs := make([]spec, 0, len(states)*len(cases))
+	for si := range states {
+		for ci := range cases {
+			specs = append(specs, spec{si, ci})
 		}
+	}
+	reports := make([]*core.CountryReport, len(specs))
+	outer, _ := splitBudget(cfg.Workers, len(specs))
+	err = sim.ForEach(ctx, len(specs), outer, func(i int) error {
+		s := specs[i]
+		rep, err := an.CountryAnalysis(ctx, states[s.si].model, 150, cfg.Trials*10, cfg.Seed, cases[s.ci].Target, cases[s.ci].Partners)
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &CountryResult{Reports: map[string][]*core.CountryReport{}}
+	for i, s := range specs {
+		out.Reports[states[s.si].name] = append(out.Reports[states[s.si].name], reports[i])
 	}
 	return out, nil
 }

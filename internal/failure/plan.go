@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"gicnet/internal/graph"
 	"gicnet/internal/topology"
@@ -59,6 +60,7 @@ type Plan struct {
 	repeaters []int     // per cable: repeater count at spacingKm
 
 	baseDead    graph.Bitset // template: every probability-1 cable pre-set
+	atRisk      graph.Bitset // cables with non-zero death probability
 	dense       []int32      // cables sampled with one Bernoulli draw each
 	denseProb   []float64
 	groups      []sampleGroup
@@ -67,6 +69,14 @@ type Plan struct {
 
 	inc       *topology.IncidenceBits
 	connected int // nodes with >= 1 cable: the NodeFrac denominator
+
+	// contraction caches the network's core contraction for the current
+	// at-risk set. Guarded by contractMu and self-validating through
+	// Matches, so arena recompiles that preserve the immortal core (every
+	// point of a uniform sweep, say) reuse the contraction for free and
+	// recompiles that change it rebuild transparently.
+	contractMu  sync.Mutex
+	contraction *graph.CoreContraction
 
 	// uniformNames memoizes Uniform model names across recompiles: a sweep
 	// recompiles its arena plan once per (point, cell) with the same few
@@ -154,6 +164,7 @@ func envExp(prob float64) int {
 // compilation is deterministic and allocation-free in steady state.
 func (p *Plan) buildSampler() {
 	p.baseDead = graph.GrowBitset(p.baseDead, len(p.deathProb))
+	p.atRisk = graph.GrowBitset(p.atRisk, len(p.deathProb))
 	// Reserve worst-case capacity up front (every cable dense) so the
 	// scatter pass appends without doubling through realloc steps.
 	p.dense = growInt32s(p.dense, len(p.deathProb))[:0]
@@ -191,7 +202,9 @@ func (p *Plan) buildSampler() {
 		case prob <= 0:
 		case prob >= 1:
 			p.baseDead.Set(ci)
+			p.atRisk.Set(ci)
 		default:
+			p.atRisk.Set(ci)
 			if o := fill[envExp(prob)]; o >= 0 {
 				p.groupCables[o] = int32(ci)
 				p.groupProbs[o] = prob
@@ -236,6 +249,43 @@ func (p *Plan) DeathProb(ci int) float64 { return p.deathProb[ci] }
 
 // RepeaterCount returns the precomputed repeater count of cable ci.
 func (p *Plan) RepeaterCount(ci int) int { return p.repeaters[ci] }
+
+// AtRiskCables returns the bitset of cables with non-zero compiled death
+// probability — the frontier the contracted connectivity engine unions per
+// trial. The bitset is shared plan state: read-only.
+func (p *Plan) AtRiskCables() graph.Bitset { return p.atRisk }
+
+// ImmortalCables returns a fresh bitset of the cables with zero death
+// probability under the plan — the immortal core CoreContraction fuses
+// into supernodes (repeater-free cables under every model, low-latitude
+// cables under the tiered ones).
+func (p *Plan) ImmortalCables() graph.Bitset {
+	nc := len(p.deathProb)
+	out := graph.NewBitset(nc)
+	for wi := range out {
+		out[wi] = ^p.atRisk[wi]
+	}
+	if r := nc & 63; r != 0 {
+		out[len(out)-1] &= 1<<uint(r) - 1
+	}
+	return out
+}
+
+// Contraction returns the network's core contraction for the plan's
+// at-risk cable set, built on first use and cached. The cache key is
+// (graph, at-risk set), checked on every call, so CompileInto reuse that
+// preserves the immortal core keeps the contraction and reuse that changes
+// it rebuilds. Safe for concurrent callers; the returned structure is
+// immutable and shared.
+func (p *Plan) Contraction() *graph.CoreContraction {
+	g := p.net.Graph()
+	p.contractMu.Lock()
+	defer p.contractMu.Unlock()
+	if p.contraction == nil || !p.contraction.Matches(g, p.atRisk) {
+		p.contraction = p.net.CoreContraction(p.atRisk)
+	}
+	return p.contraction
+}
 
 // SampleInto draws one realisation of cable deaths into dead, which must be
 // sized for NumCables bits. Probability-1 cables arrive via a template

@@ -1,0 +1,75 @@
+package failure
+
+import (
+	"testing"
+)
+
+// AtRiskCables and ImmortalCables must partition the cable set exactly:
+// membership is decided by the analytic death probability alone, and the
+// immortal copy carries no stray bits past NumCables.
+func TestPlanAtRiskImmortalComplement(t *testing.T) {
+	for _, spacing := range []float64{150, 3000} {
+		plan, err := Compile(planNet(), Uniform{P: 0.5}, spacing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		atRisk, immortal := plan.AtRiskCables(), plan.ImmortalCables()
+		for ci := 0; ci < plan.NumCables(); ci++ {
+			wantRisk := plan.DeathProb(ci) > 0
+			if atRisk.Get(ci) != wantRisk {
+				t.Errorf("spacing=%v cable %d: atRisk=%v, DeathProb=%v", spacing, ci, atRisk.Get(ci), plan.DeathProb(ci))
+			}
+			if immortal.Get(ci) == atRisk.Get(ci) {
+				t.Errorf("spacing=%v cable %d: immortal and atRisk agree — sets must be complements", spacing, ci)
+			}
+		}
+		for i := plan.NumCables(); i < 64*len(immortal); i++ {
+			if immortal.Get(i) {
+				t.Fatalf("spacing=%v: ImmortalCables has stray bit %d past NumCables=%d", spacing, i, plan.NumCables())
+			}
+		}
+	}
+}
+
+// Contraction() is a self-validating cache: repeat calls share one build,
+// recompiling the plan with a different immortal core rebuilds it, and
+// recompiling with the same core (a new probability on the same at-risk
+// set) reuses the old build even though the arena was overwritten.
+func TestPlanContractionCache(t *testing.T) {
+	// One network instance throughout: the sweep arenas recompile the same
+	// *Network, and the cache is keyed on its graph identity.
+	net := planNet()
+	plan, err := Compile(net, Uniform{P: 0.5}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc1 := plan.Contraction()
+	if cc1 == nil {
+		t.Fatal("nil contraction")
+	}
+	if got := plan.Contraction(); got != cc1 {
+		t.Fatal("second Contraction() call rebuilt an unchanged core")
+	}
+
+	// Same cables at risk (every repeatered cable stays repeatered), new
+	// probability: the cache must survive the recompile.
+	if err := CompileInto(plan, net, Uniform{P: 0.1}, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Contraction(); got != cc1 {
+		t.Fatal("recompile with an identical immortal core dropped the cached contraction")
+	}
+
+	// Tighter spacing gives the short cables repeaters, changing the core:
+	// the cache must notice and rebuild.
+	if err := CompileInto(plan, net, Uniform{P: 0.1}, 150); err != nil {
+		t.Fatal(err)
+	}
+	cc2 := plan.Contraction()
+	if cc2 == cc1 {
+		t.Fatal("recompile with a different immortal core kept the stale contraction")
+	}
+	if !cc2.Matches(plan.Network().Graph(), plan.AtRiskCables()) {
+		t.Fatal("rebuilt contraction does not match the plan's current at-risk set")
+	}
+}

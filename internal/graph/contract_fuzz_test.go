@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzCoreContraction drives the contracted engine with arbitrary bytes:
+// the input encodes a small multigraph, a class map, an at-risk set, and a
+// dead mask of arbitrary length (deliberately allowed to be malformed —
+// short, oversized, or with stray bits). The engine must never panic, and
+// its component count and pair verdicts must agree with the direct
+// ComponentsBits path on the normalized equivalent mask.
+func FuzzCoreContraction(f *testing.F) {
+	// Bitset-corpus seeds: word patterns that exercise boundaries of the
+	// packed representation (empty, single word, all ones, alternating,
+	// stray high bits, multi-word).
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{8, 12, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{16, 40, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55})
+	f.Add([]byte{31, 90, 0x00, 0x80, 0x00, 0x80, 0x01, 0x02, 0x03, 0x04})
+	f.Add([]byte{
+		5, 9,
+		0, 1, 1, 2, 2, 3, 3, 4, 4, 0, 0, 2, 1, 3, 2, 4, 0, 0,
+		0, 1, 2, 0, 1, 2, 0, 1, 2,
+		0b101,
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+
+		n := 1 + int(next())%32
+		m := int(next()) % 96
+		g := New()
+		for i := 0; i < n; i++ {
+			g.AddNode(fmt.Sprintf("n%d", i))
+		}
+		for e := 0; e < m; e++ {
+			g.AddEdge(NodeID(int(next())%n), NodeID(int(next())%n))
+		}
+
+		// Class map: identity when the input byte says so, otherwise a
+		// byte-driven grouping clamped into range.
+		var classOf []int32
+		numClasses := m
+		if m > 0 && next()%2 == 1 {
+			numClasses = 1 + int(next())%m
+			classOf = make([]int32, m)
+			for e := range classOf {
+				classOf[e] = int32(int(next()) % numClasses)
+			}
+		}
+
+		// At-risk set straight from input bytes (may be short: missing
+		// words read as not-at-risk).
+		atRisk := make(Bitset, BitsetWords(numClasses))
+		for wi := range atRisk {
+			var w uint64
+			for b := 0; b < 8; b++ {
+				w |= uint64(next()) << (8 * b)
+			}
+			atRisk[wi] = w
+		}
+
+		// Dead mask: whatever bytes remain, at whatever length — including
+		// none, fewer words than classes, or far more.
+		deadClasses := make(Bitset, (len(data)+7)/8)
+		for wi := range deadClasses {
+			var w uint64
+			for b := 0; b < 8; b++ {
+				w |= uint64(next()) << (8 * b)
+			}
+			deadClasses[wi] = w
+		}
+
+		cc := NewCoreContraction(g, classOf, numClasses, atRisk)
+		scratch := g.NewScratch()
+		ufCore := scratch.ComponentsCore(cc, deadClasses)
+		coreSets := ufCore.Sets()
+
+		// Direct reference on the normalized projection of the same mask.
+		c := randomContractionCase{g: g, classOf: classOf, numClasses: numClasses, atRisk: atRisk}
+		deadEdges := c.effectiveDeadEdges(deadClasses)
+		scratchDirect := g.NewScratch()
+		ufDirect := scratchDirect.ComponentsBits(deadEdges)
+		if directSets := ufDirect.Sets(); coreSets != directSets {
+			t.Fatalf("component count: contracted %d, direct %d (n=%d m=%d classes=%d)",
+				coreSets, directSets, n, m, numClasses)
+		}
+		for a := 0; a < n; a++ {
+			la := ufCore.Find(int(cc.Super(NodeID(a))))
+			da := ufDirect.Find(a)
+			for b := a + 1; b < n; b++ {
+				core := la == ufCore.Find(int(cc.Super(NodeID(b))))
+				direct := da == ufDirect.Find(b)
+				if core != direct {
+					t.Fatalf("pair (%d,%d): contracted %v, direct %v", a, b, core, direct)
+				}
+			}
+		}
+	})
+}

@@ -21,6 +21,11 @@ type Scratch struct {
 	seen  []uint32
 	stamp uint32
 	queue []NodeID
+
+	// cuts is the reused dead-forest-edge buffer of the contraction query
+	// path (see forestCuts); it grows to the per-trial cut high-water mark
+	// and then stops allocating.
+	cuts []int32
 }
 
 // NewScratch returns scratch state sized for g.

@@ -15,6 +15,7 @@ import (
 	"gicnet/internal/failure"
 	"gicnet/internal/geo"
 	"gicnet/internal/graph"
+	"gicnet/internal/sim"
 	"gicnet/internal/topology"
 	"gicnet/internal/xrand"
 )
@@ -34,7 +35,10 @@ type Fragmentation struct {
 }
 
 // Analyze computes the fragmentation of a network under a cable-death
-// realisation.
+// realisation. It is the exact full-graph reference: labels come from a
+// fresh Components pass over every edge. The Monte Carlo loop in
+// MeanFragmentation produces identical summaries through the plan's core
+// contraction instead.
 func Analyze(net *topology.Network, cableDead []bool) (*Fragmentation, error) {
 	if len(cableDead) != len(net.Cables) {
 		return nil, errors.New("partition: death vector length mismatch")
@@ -42,7 +46,17 @@ func Analyze(net *topology.Network, cableDead []bool) (*Fragmentation, error) {
 	g := net.Graph()
 	mask := net.AliveMask(cableDead)
 	labels, _ := g.Components(mask)
+	return aggregate(net, cableDead, func(i int) int { return labels[i] }), nil
+}
 
+// aggregate folds one realisation's component labelling into a
+// Fragmentation. labelOf must return a label equal for two nodes exactly
+// when they share a component; the label values themselves are free, which
+// is what lets the contracted union-find (labels are supernode roots) and
+// the full-graph labelling (labels are dense component indices) share this
+// code and produce identical output.
+func aggregate(net *topology.Network, cableDead []bool, labelOf func(i int) int) *Fragmentation {
+	g := net.Graph()
 	// Only nodes with a live cable participate in "components".
 	iso := map[int]bool{}
 	for _, n := range net.UnreachableNodes(cableDead) {
@@ -56,13 +70,14 @@ func Analyze(net *topology.Network, cableDead []bool) (*Fragmentation, error) {
 			continue
 		}
 		connected++
-		compSet[labels[i]]++
+		label := labelOf(i)
+		compSet[label]++
 		if nd.HasCoord {
 			r := geo.RegionOf(nd.Coord)
 			if regionComps[r] == nil {
 				regionComps[r] = map[int]bool{}
 			}
-			regionComps[r][labels[i]] = true
+			regionComps[r][label] = true
 		}
 	}
 	largest := 0
@@ -82,7 +97,7 @@ func Analyze(net *topology.Network, cableDead []bool) (*Fragmentation, error) {
 	for r, comps := range regionComps {
 		f.RegionSplit[r] = len(comps)
 	}
-	return f, nil
+	return f
 }
 
 // MeanFragmentation averages fragmentation over Monte Carlo trials.
@@ -94,6 +109,13 @@ func MeanFragmentation(net *topology.Network, m failure.Model, spacingKm float64
 	if err != nil {
 		return nil, err
 	}
+	// Per-trial components run on the plan's core contraction: the dead
+	// cable bitset is the query mask and only the at-risk frontier is
+	// unioned. aggregate makes the summaries identical to Analyze's (the
+	// contracted union-find roots are a valid labelling), which
+	// TestMeanFragmentationContractedMatchesAnalyze pins trial by trial.
+	cc := plan.Contraction()
+	scratch := net.Graph().NewScratch()
 	root := xrand.New(seed)
 	agg := &Fragmentation{RegionSplit: map[geo.Region]int{}}
 	regionTotals := map[geo.Region]float64{}
@@ -103,11 +125,11 @@ func MeanFragmentation(net *topology.Network, m failure.Model, spacingKm float64
 	for ti := 0; ti < trials; ti++ {
 		rng := root.SplitAt(uint64(ti))
 		plan.SampleInto(dead, &rng)
-		dead.Expand(deadBools) // Analyze's map-heavy walk still speaks []bool
-		f, err := Analyze(net, deadBools)
-		if err != nil {
-			return nil, err
-		}
+		dead.Expand(deadBools) // the isolated-node walk still speaks []bool
+		uf := scratch.ComponentsCore(cc, dead)
+		f := aggregate(net, deadBools, func(i int) int {
+			return uf.Find(int(cc.Super(graph.NodeID(i))))
+		})
 		comps += float64(f.Components)
 		largest += f.LargestFrac
 		isolated += float64(f.IsolatedNodes)
@@ -334,7 +356,8 @@ func nearestOfCountry(net *topology.Network, a dataset.Anchor) int {
 
 // pairSurvival is a local Monte Carlo of target-set connectivity (the
 // core package owns the richer version; this one works on arbitrary
-// networks including augmented copies).
+// networks including augmented copies). The trial loop is sim.PairSurvival
+// on the plan's core contraction.
 func pairSurvival(net *topology.Network, m failure.Model, spacingKm float64, trials int, seed uint64, countryA, countryB string) (float64, error) {
 	if trials <= 0 {
 		return 0, errors.New("partition: trials must be positive")
@@ -348,20 +371,7 @@ func pairSurvival(net *topology.Network, m failure.Model, spacingKm float64, tri
 	if err != nil {
 		return 0, err
 	}
-	scratch := net.Graph().NewScratch()
-	dead := plan.NewDead()
-	var deadEdges graph.Bitset
-	root := xrand.New(seed)
-	ok := 0
-	for ti := 0; ti < trials; ti++ {
-		rng := root.SplitAt(uint64(ti))
-		plan.SampleInto(dead, &rng)
-		deadEdges = net.DeadEdgeBitsInto(deadEdges, dead)
-		if scratch.AnyConnectedBits(deadEdges, a, b) {
-			ok++
-		}
-	}
-	return float64(ok) / float64(trials), nil
+	return sim.PairSurvival(context.Background(), plan, trials, seed, a, b, false)
 }
 
 // nodeIDsOf is nodesOf as graph node IDs, for the scratch connectivity

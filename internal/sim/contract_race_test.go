@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"gicnet/internal/failure"
+	"gicnet/internal/graph"
+	"gicnet/internal/xrand"
+)
+
+// TestContractionSharedAcrossWorkers pins the concurrency contract of the
+// core contraction: one *graph.CoreContraction built by the plan is shared
+// read-only by every ForEachWorker goroutine, while each worker owns its
+// Scratch and dead bitset (the same slot-ownership discipline as the sweep
+// arenas in foreach_test.go). Run under -race (the Makefile race target
+// covers this package), the test proves the shared structure is never
+// written after construction and that worker count cannot change a single
+// trial verdict.
+func TestContractionSharedAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	net := testNet()
+	// At 3000 km spacing the short cables ab (2000 km) and cd (800 km)
+	// carry no repeaters and are immortal; bc and ad stay at risk, so the
+	// contraction has a real core and a real frontier.
+	plan, err := failure.Compile(net, failure.Uniform{P: 0.5}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := plan.Contraction()
+	if cc.NumSupernodes() >= net.Graph().NumNodes() {
+		t.Fatalf("contraction did not merge anything: %d supernodes of %d nodes", cc.NumSupernodes(), net.Graph().NumNodes())
+	}
+
+	const trials = 512
+	from := []graph.NodeID{0} // a
+	to := []graph.NodeID{3}   // d
+	fromSupers := cc.SupersOf(nil, from)
+	toSupers := cc.SupersOf(nil, to)
+
+	// Serial reference pass: one worker, one scratch.
+	verdict := func(s *graph.Scratch, dead graph.Bitset, ti int) (bool, int) {
+		rng := xrand.New(7).SplitAt(uint64(ti))
+		plan.SampleInto(dead, &rng)
+		ok := s.AnyConnectedSupers(cc, dead, fromSupers, toSupers)
+		comps := s.ComponentsCore(cc, dead).Sets()
+		return ok, comps
+	}
+	wantOK := make([]bool, trials)
+	wantComps := make([]int, trials)
+	{
+		s := net.Graph().NewScratch()
+		dead := plan.NewDead()
+		for ti := 0; ti < trials; ti++ {
+			wantOK[ti], wantComps[ti] = verdict(s, dead, ti)
+		}
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		// Per-worker state; the contraction itself is shared.
+		scratches := make([]*graph.Scratch, workers)
+		deads := make([]graph.Bitset, workers)
+		for w := range scratches {
+			scratches[w] = net.Graph().NewScratch()
+			deads[w] = plan.NewDead()
+		}
+		gotOK := make([]bool, trials)
+		gotComps := make([]int, trials)
+		err := ForEachWorker(ctx, trials, workers, func(worker, ti int) error {
+			// Every worker also re-requests the contraction, racing the
+			// plan's cache lookup against concurrent readers.
+			if plan.Contraction() != cc {
+				t.Error("plan.Contraction() rebuilt while the core was unchanged")
+			}
+			gotOK[ti], gotComps[ti] = verdict(scratches[worker], deads[worker], ti)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for ti := 0; ti < trials; ti++ {
+			if gotOK[ti] != wantOK[ti] || gotComps[ti] != wantComps[ti] {
+				t.Fatalf("workers=%d trial %d: verdict (%v,%d), serial reference (%v,%d)",
+					workers, ti, gotOK[ti], gotComps[ti], wantOK[ti], wantComps[ti])
+			}
+		}
+	}
+}

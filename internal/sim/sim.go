@@ -332,6 +332,62 @@ func ForEachWorker(ctx context.Context, n, workers int, fn func(worker, i int) e
 	return nil
 }
 
+// PairSurvival estimates the probability that the from and to node sets
+// stay connected under the plan's failure distribution: trials
+// realisations, trial ti seeded by SplitAt(ti) from seed exactly like Run,
+// each tested for any surviving path between the sets. It is the shared
+// trial loop behind the country-connectivity analysis and the partition
+// layer's probe survival.
+//
+// By default each trial is answered on the plan's core contraction — the
+// dead CABLE bitset is the query mask, so the per-trial cable→edge
+// projection and the full-graph union-find both disappear. direct=true
+// forces the full-graph reference path (edge projection + ComponentsBits);
+// both engines return identical verdicts trial for trial, which the
+// contracted-direct-parity invariant and the differential tests pin.
+func PairSurvival(ctx context.Context, plan *failure.Plan, trials int, seed uint64, from, to []graph.NodeID, direct bool) (float64, error) {
+	if trials <= 0 {
+		return 0, errors.New("sim: trials must be positive")
+	}
+	if len(from) == 0 || len(to) == 0 {
+		return 0, errors.New("sim: empty connectivity node set")
+	}
+	net := plan.Network()
+	scratch := net.Graph().NewScratch()
+	dead := plan.NewDead()
+	root := *xrand.New(seed)
+	survived := 0
+	if direct {
+		var deadEdges graph.Bitset
+		for ti := 0; ti < trials; ti++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			rng := root.SplitAt(uint64(ti))
+			plan.SampleInto(dead, &rng)
+			deadEdges = net.DeadEdgeBitsInto(deadEdges, dead)
+			if scratch.AnyConnectedBits(deadEdges, from, to) {
+				survived++
+			}
+		}
+	} else {
+		cc := plan.Contraction()
+		fromSupers := cc.SupersOf(nil, from)
+		toSupers := cc.SupersOf(nil, to)
+		for ti := 0; ti < trials; ti++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			rng := root.SplitAt(uint64(ti))
+			plan.SampleInto(dead, &rng)
+			if scratch.AnyConnectedSupers(cc, dead, fromSupers, toSupers) {
+				survived++
+			}
+		}
+	}
+	return float64(survived) / float64(trials), nil
+}
+
 // SweepPoint is one (probability, result) pair of a probability sweep.
 type SweepPoint struct {
 	P      float64

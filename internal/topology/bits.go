@@ -122,6 +122,42 @@ func (n *Network) buildIncidenceBits() {
 	n.incBits = ib
 }
 
+// CoreContraction contracts the network's graph against an at-risk cable
+// set: every edge of a cable outside the set is immortal core, fused into
+// supernodes once, and per-trial connectivity unions only the surviving
+// at-risk edges over the contracted graph — with the dead CABLE bitset as
+// the mask, so the per-trial cable→edge projection disappears entirely.
+// The cable index is the failure class (each cable owns a contiguous edge
+// block in the graph projection). The result is immutable and safe for
+// concurrent use; failure.Plan caches one per compiled at-risk set.
+func (n *Network) CoreContraction(atRiskCables graph.Bitset) *graph.CoreContraction {
+	g := n.Graph()
+	n.classOnce.Do(func() {
+		n.edgeClasses = make([]int32, len(n.edgeCable))
+		for e, ci := range n.edgeCable {
+			n.edgeClasses[e] = int32(ci)
+		}
+	})
+	n.contractMu.Lock()
+	defer n.contractMu.Unlock()
+	for _, cc := range n.contractions {
+		if cc.Matches(g, atRiskCables) {
+			return cc
+		}
+	}
+	cc := graph.NewCoreContraction(g, n.edgeClasses, len(n.Cables), atRiskCables)
+	// FIFO-bound the cache: distinct at-risk sets are model families, of
+	// which a process sees a handful, but a pathological caller sweeping
+	// per-cable immortality must not accumulate one contraction per sweep
+	// point.
+	if len(n.contractions) >= 8 {
+		copy(n.contractions, n.contractions[1:])
+		n.contractions = n.contractions[:len(n.contractions)-1]
+	}
+	n.contractions = append(n.contractions, cc)
+	return cc
+}
+
 // DeadEdgeBitsInto projects per-cable death onto graph edges as a packed
 // bitset: every segment edge of a dead cable is marked dead. It is the
 // bitset form of AliveMaskInto (with inverted polarity) and reuses dst's

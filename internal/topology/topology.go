@@ -87,6 +87,18 @@ type Network struct {
 	edgeCable      []int   // graph edge id -> cable index
 	cableEdgeStart []int32 // cable ci's edges are IDs [start[ci], start[ci+1])
 
+	classOnce   sync.Once
+	edgeClasses []int32 // edgeCable widened once for graph.NewCoreContraction
+
+	// Core contractions cached per at-risk cable set. Sweeps compile one
+	// plan per probability but nearly all of them share one at-risk set
+	// (every repeatered cable), so the contraction build — the only
+	// per-plan cost that is linear in the full graph — is paid once per
+	// network, not once per compile. Guarded by contractMu; entries are
+	// immutable once published.
+	contractMu   sync.Mutex
+	contractions []*graph.CoreContraction
+
 	incOnce        sync.Once
 	nodeCableStart []int32 // CSR offsets: node i's cables are nodeCables[start[i]:start[i+1]]
 	nodeCables     []int32 // distinct incident cable indices, grouped by node

@@ -10,8 +10,8 @@ import (
 
 func TestInvariantsHoldOnDefaultWorld(t *testing.T) {
 	results := Invariants(testWorld(t), dataset.DefaultSeed)
-	if len(results) != 9 {
-		t.Fatalf("invariant count = %d, want 9", len(results))
+	if len(results) != 10 {
+		t.Fatalf("invariant count = %d, want 10", len(results))
 	}
 	for _, r := range results {
 		if !r.Passed {
