@@ -1,14 +1,16 @@
 # Build / verify targets. `make verify` is the PR gate: tier-1 build+test
-# plus static vetting, a race-detector pass over the concurrent engine
-# (the sim worker pool, parallel sweeps, and the failure plan layer), the
-# statistical verification suite (golden regression + model invariants +
-# deterministic replay), and a short fuzz smoke over the IO parser and
-# plan compiler.
+# plus static vetting, the repo-native lint pass (determinism, hot-path
+# allocation discipline, float-comparison hygiene, must-check errors — see
+# internal/lint), a race-detector pass over the concurrent engine (the sim
+# worker pool, parallel sweeps, the failure plan layer, and the shared
+# contraction state in partition/experiments), the statistical verification
+# suite (golden regression + model invariants + deterministic replay), and
+# a short fuzz smoke over the IO parser and plan compiler.
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test vet race verify validate update-golden fuzz-smoke bench bench-snapshot bench-check
+.PHONY: all build test vet lint race verify validate update-golden fuzz-smoke bench bench-snapshot bench-check
 
 all: verify
 
@@ -21,13 +23,20 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# The simulation engine and failure plans run concurrently (worker pools,
-# parallel sweeps, shared sync.Once topology caches) — race-check them on
-# every PR.
-race:
-	$(GO) test -race ./internal/sim/... ./internal/failure/... ./internal/topology/... ./internal/graph/...
+# Repo-native static analysis: cmd/gicnetlint runs the determinism, hotpath,
+# floatcmp, and errcheck analyzers over every package in the module. Use
+# `go run ./cmd/gicnetlint -json` for machine-readable diagnostics.
+lint:
+	$(GO) run ./cmd/gicnetlint -root .
 
-verify: vet test race validate fuzz-smoke
+# The simulation engine and failure plans run concurrently (worker pools,
+# parallel sweeps, shared sync.Once topology caches), and partition and
+# experiments share immutable contraction state across workers — race-check
+# all of them on every PR.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/failure/... ./internal/topology/... ./internal/graph/... ./internal/partition/... ./internal/experiments/...
+
+verify: vet lint test race validate fuzz-smoke
 
 # Statistical verification: diff every reproduce output against the
 # checked-in golden snapshot, check model invariants, and prove replay

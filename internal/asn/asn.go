@@ -112,6 +112,7 @@ func Analyze(cat *dataset.RouterCatalog) (*Summary, error) {
 		s.ByExposure[Classify(&cat.ASes[i], geo.MidBandCut)]++
 	}
 	for i, t := range thresholds {
+		//gicnet:allow floatcmp thresholds carry small integer literals; 40 is exact
 		if t == 40 {
 			s.ReachAbove40 = reach[i]
 		}

@@ -420,6 +420,7 @@ func (b *submarineBuilder) bridgeComponents() {
 					continue
 				}
 				d := geo.Haversine(b.net.Nodes[i].Coord, cj)
+				//gicnet:allow floatcmp exact distance tie-break keeps bridge selection deterministic
 				if d < bestD[i] || (d == bestD[i] && j < bestJ[i]) {
 					bestD[i], bestJ[i] = d, j
 				}

@@ -94,6 +94,7 @@ func (e *Estimate) TopRegions() []geo.Region {
 		regions = append(regions, r)
 	}
 	sort.Slice(regions, func(i, j int) bool {
+		//gicnet:allow floatcmp exact tie-break gives the comparator a total order
 		if e.ByRegion[regions[i]] != e.ByRegion[regions[j]] {
 			return e.ByRegion[regions[i]] > e.ByRegion[regions[j]]
 		}

@@ -192,6 +192,7 @@ func (r *Fig5Result) Quantile(network string, q float64) (float64, bool) {
 func (r *Fig5Result) Render(w io.Writer) error {
 	names := make([]string, 0, len(r.CDFs))
 	for name := range r.CDFs {
+		//gicnet:allow determinism names are sorted before rendering
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -314,6 +315,7 @@ func splitBudget(workers, n int) (outer, inner int) {
 // Cell returns the sweep for a network and spacing, or nil.
 func (r *Fig67Result) Cell(network string, spacingKm float64) *SweepCell {
 	for i := range r.Cells {
+		//gicnet:allow floatcmp cells are keyed by the exact spacing literals they were built with
 		if r.Cells[i].Network == network && r.Cells[i].SpacingKm == spacingKm {
 			return &r.Cells[i]
 		}
@@ -327,6 +329,7 @@ func (r *Fig67Result) Render(w io.Writer) error {
 	for _, spacing := range sim.DefaultSpacings() {
 		var cables, nodes []*report.Series
 		for _, cell := range r.Cells {
+			//gicnet:allow floatcmp cells are keyed by the exact spacing literals they were built with
 			if cell.SpacingKm != spacing {
 				continue
 			}
@@ -427,6 +430,7 @@ func Fig8(ctx context.Context, w *dataset.World, cfg Config) (*Fig8Result, error
 func (r *Fig8Result) Row(state string, spacingKm float64, network string) *Fig8Row {
 	for i := range r.Rows {
 		row := &r.Rows[i]
+		//gicnet:allow floatcmp rows are keyed by the exact spacing literals they were built with
 		if row.State == state && row.SpacingKm == spacingKm && row.Network == network {
 			return row
 		}

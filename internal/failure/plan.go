@@ -146,6 +146,7 @@ func (p *Plan) nameOf(m Model) string {
 // a tight envelope), clamped to maxSparseExp.
 func envExp(prob float64) int {
 	frac, exp := math.Frexp(prob) // prob = frac * 2^exp, frac in [0.5, 1)
+	//gicnet:allow floatcmp Frexp returns exactly 0.5 for powers of two
 	if frac == 0.5 {
 		exp--
 	}
@@ -298,6 +299,8 @@ func (p *Plan) Contraction() *graph.CoreContraction {
 //
 // The draw sequence differs from SampleCableDeaths; use SampleDense for
 // draw-for-draw compatibility with the direct path.
+//
+//gicnet:hotpath
 func (p *Plan) SampleInto(dead graph.Bitset, rng *xrand.Source) {
 	dead.CopyFrom(p.baseDead)
 	denseProb := p.denseProb
@@ -337,6 +340,8 @@ func (p *Plan) SampleInto(dead graph.Bitset, rng *xrand.Source) {
 // with probability 0 or 1 consume nothing), so a given seed yields the
 // same realisation on either path. It exists for the verification layer's
 // coupling and equivalence proofs; simulation hot paths use SampleInto.
+//
+//gicnet:hotpath
 func (p *Plan) SampleDense(dead graph.Bitset, rng *xrand.Source) {
 	dead.Clear()
 	for ci, prob := range p.deathProb {
@@ -362,6 +367,8 @@ func (p *Plan) Sample(rng *xrand.Source) graph.Bitset {
 // is counted exactly once, when the walk reaches its lowest incident cable
 // (necessarily dead). At the paper's low sweep probabilities this touches
 // a handful of words instead of every node.
+//
+//gicnet:hotpath
 func (p *Plan) Evaluate(dead graph.Bitset) Outcome {
 	failed := 0
 	inc := p.inc
@@ -455,6 +462,7 @@ func (p *Plan) Validate() error {
 		}
 		for k := g.start; k < g.end; k++ {
 			seen[p.groupCables[k]]++
+			//gicnet:allow floatcmp groupProbs entries must be bit-identical copies of deathProb
 			if pr := p.groupProbs[k]; pr > g.pmax || pr != p.deathProb[p.groupCables[k]] {
 				return fmt.Errorf("failure: plan %s/%s: cable %d probability %v escapes envelope %v",
 					p.net.Name, p.modelName, p.groupCables[k], pr, g.pmax)

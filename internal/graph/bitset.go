@@ -31,16 +31,24 @@ func GrowBitset(dst Bitset, n int) Bitset {
 }
 
 // Get reports whether bit i is set.
+//
+//gicnet:hotpath
 func (b Bitset) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 // Set sets bit i.
+//
+//gicnet:hotpath
 func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
 
 // Unset clears bit i.
+//
+//gicnet:hotpath
 func (b Bitset) Unset(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
 
 // SetRange sets every bit in [lo, hi), filling whole words where it can —
 // the fast path for marking a dead cable's contiguous block of edge IDs.
+//
+//gicnet:hotpath
 func (b Bitset) SetRange(lo, hi int) {
 	if lo >= hi {
 		return
@@ -60,6 +68,8 @@ func (b Bitset) SetRange(lo, hi int) {
 }
 
 // Clear zeroes every word; the compiler lowers the loop to a memclr.
+//
+//gicnet:hotpath
 func (b Bitset) Clear() {
 	for i := range b {
 		b[i] = 0
@@ -67,6 +77,8 @@ func (b Bitset) Clear() {
 }
 
 // Count returns the number of set bits.
+//
+//gicnet:hotpath
 func (b Bitset) Count() int {
 	n := 0
 	for _, w := range b {
@@ -76,10 +88,14 @@ func (b Bitset) Count() int {
 }
 
 // CopyFrom overwrites b with src; both must have the same word length.
+//
+//gicnet:hotpath
 func (b Bitset) CopyFrom(src Bitset) { copy(b, src) }
 
 // Expand unpacks the first len(dst) bits into a bool slice, for callers
 // that still speak the unpacked representation.
+//
+//gicnet:hotpath
 func (b Bitset) Expand(dst []bool) {
 	for i := range dst {
 		dst[i] = b.Get(i)

@@ -308,6 +308,8 @@ func (cc *CoreContraction) Matches(g *Graph, atRiskClasses Bitset) bool {
 // Component counts are node-level exact: Sets() equals what ComponentsBits
 // reports over the full graph for the same trial, because every node maps
 // to exactly one supernode and core edges can never die.
+//
+//gicnet:hotpath
 func (s *Scratch) ComponentsCore(cc *CoreContraction, deadClasses Bitset) *UnionFind {
 	if cc.g != s.g {
 		panic("graph: Scratch and CoreContraction bound to different graphs")
@@ -341,6 +343,8 @@ const forestCutBudget = 64
 // the caller to take the fallback path) once the count exceeds budget —
 // with that many deletions, re-unioning the frontier is cheaper than
 // per-vertex cut scans.
+//
+//gicnet:hotpath allow=append
 func (s *Scratch) forestCuts(cc *CoreContraction, deadClasses Bitset, budget int) ([]int32, bool) {
 	cuts := s.cuts[:0]
 	nw := len(cc.riskClasses)
@@ -369,6 +373,8 @@ func (s *Scratch) forestCuts(cc *CoreContraction, deadClasses Bitset, budget int
 
 // underCut reports whether supernode v lies below any of the cuts — i.e.
 // some dead forest edge separates it from its component root.
+//
+//gicnet:hotpath
 func underCut(cc *CoreContraction, cuts []int32, v int32) bool {
 	t := cc.tin[v]
 	for _, ch := range cuts {
@@ -383,6 +389,8 @@ func underCut(cc *CoreContraction, cuts []int32, v int32) bool {
 // its attachment to the forest root this trial. At low failure rates that
 // is nearly always set[0], which is what makes the root-root shortcut in
 // AnyConnectedSupers an O(cuts) verdict.
+//
+//gicnet:hotpath
 func rootComp(cc *CoreContraction, cuts []int32, set []int32) (int32, bool) {
 	for _, sp := range set {
 		if !underCut(cc, cuts, sp) {
@@ -393,6 +401,8 @@ func rootComp(cc *CoreContraction, cuts []int32, set []int32) (int32, bool) {
 }
 
 // rootCompNodes is rootComp over raw node ids.
+//
+//gicnet:hotpath
 func rootCompNodes(cc *CoreContraction, cuts []int32, nodes []NodeID) (int32, bool) {
 	for _, n := range nodes {
 		if sp := cc.super[n]; !underCut(cc, cuts, sp) {
@@ -408,6 +418,8 @@ func rootCompNodes(cc *CoreContraction, cuts []int32, nodes []NodeID) (int32, bo
 // that kill few classes take the forest path (work proportional to the
 // deletions); denser masks fall back to re-unioning the frontier. Both
 // paths are exact, so the verdict never depends on which one ran.
+//
+//gicnet:hotpath
 func (s *Scratch) AnyConnectedCore(cc *CoreContraction, deadClasses Bitset, from, to []NodeID) bool {
 	if cc.g != s.g {
 		panic("graph: Scratch and CoreContraction bound to different graphs")
@@ -439,6 +451,8 @@ func (s *Scratch) AnyConnectedCore(cc *CoreContraction, deadClasses Bitset, from
 // resolved to distinct supernodes (see SupersOf), saving the per-node
 // super lookups in trial loops that ask about the same pair thousands of
 // times.
+//
+//gicnet:hotpath
 func (s *Scratch) AnyConnectedSupers(cc *CoreContraction, deadClasses Bitset, fromSupers, toSupers []int32) bool {
 	if cc.g != s.g {
 		panic("graph: Scratch and CoreContraction bound to different graphs")

@@ -66,9 +66,13 @@ func (g *Graph) AddEdge(a, b NodeID) EdgeID {
 }
 
 // NumNodes returns the node count.
+//
+//gicnet:hotpath
 func (g *Graph) NumNodes() int { return len(g.nodeLabels) }
 
 // NumEdges returns the edge count.
+//
+//gicnet:hotpath
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
 // Label returns the label of node n.

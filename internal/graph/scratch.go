@@ -38,6 +38,7 @@ func (g *Graph) NewScratch() *Scratch {
 	}
 }
 
+//gicnet:hotpath
 func (s *Scratch) nextStamp() uint32 {
 	s.stamp++
 	if s.stamp == 0 { // wrapped: clear marks and restart
@@ -101,6 +102,8 @@ func (s *Scratch) AnyConnected(mask AliveMask, from, to []NodeID) bool {
 // ComponentsBits is Components with a packed dead-edge set: edge e is alive
 // iff bit e of deadEdges is zero. A nil bitset means every edge is alive.
 // deadEdges must span every edge ID (BitsetWords(NumEdges()) words).
+//
+//gicnet:hotpath
 func (s *Scratch) ComponentsBits(deadEdges Bitset) *UnionFind {
 	s.uf.Reset(s.g.NumNodes())
 	edges := s.g.edges
@@ -128,10 +131,13 @@ func (s *Scratch) ComponentsBits(deadEdges Bitset) *UnionFind {
 }
 
 // AnyConnectedBits is AnyConnected over a packed dead-edge set.
+//
+//gicnet:hotpath
 func (s *Scratch) AnyConnectedBits(deadEdges Bitset, from, to []NodeID) bool {
 	return s.anyConnected(s.ComponentsBits(deadEdges), from, to)
 }
 
+//gicnet:hotpath
 func (s *Scratch) anyConnected(uf *UnionFind, from, to []NodeID) bool {
 	stamp := s.nextStamp()
 	for _, n := range from {

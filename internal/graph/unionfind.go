@@ -17,6 +17,8 @@ func NewUnionFind(n int) *UnionFind {
 // Reset reinitialises the structure to n singleton sets, reusing the
 // backing arrays when they are large enough. It lets per-worker scratch
 // state run repeated component queries without allocating.
+//
+//gicnet:hotpath allow=make
 func (u *UnionFind) Reset(n int) {
 	if cap(u.parent) >= n {
 		u.parent = u.parent[:n]
@@ -35,6 +37,8 @@ func (u *UnionFind) Reset(n int) {
 }
 
 // Find returns the representative of x's set.
+//
+//gicnet:hotpath
 func (u *UnionFind) Find(x int) int {
 	for u.parent[x] != x {
 		u.parent[x] = u.parent[u.parent[x]] // path halving
@@ -44,6 +48,8 @@ func (u *UnionFind) Find(x int) int {
 }
 
 // Union merges the sets of a and b, returning true if they were distinct.
+//
+//gicnet:hotpath
 func (u *UnionFind) Union(a, b int) bool {
 	ra, rb := u.Find(a), u.Find(b)
 	if ra == rb {
@@ -61,9 +67,13 @@ func (u *UnionFind) Union(a, b int) bool {
 }
 
 // Connected reports whether a and b share a set.
+//
+//gicnet:hotpath
 func (u *UnionFind) Connected(a, b int) bool { return u.Find(a) == u.Find(b) }
 
 // Sets returns the number of disjoint sets.
+//
+//gicnet:hotpath
 func (u *UnionFind) Sets() int { return u.sets }
 
 // CompactLabels returns a dense component label per element in [0, count).

@@ -1,0 +1,333 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the byte-identical-replay contract inside the
+// simulation packages (Pkgs, matched by import-path prefix):
+//
+//   - no wall-clock reads (time.Now, time.Since, time.Until);
+//   - no use of the global math/rand stream (seeded *rand.Rand values and
+//     xrand.Source are fine — it is the shared process-global state that
+//     breaks replay);
+//   - no range over a map whose iteration order can leak into results:
+//     returns, slice appends, and order-dependent folds inside the loop
+//     body are flagged. Provably order-independent folds are allowed
+//     in-place: integer/bitmask compound assignment (+=, -=, *=, |=, &=,
+//     ^=, ++, --, exact in modular arithmetic), assignment of constants
+//     (idempotent flag-setting), keyed writes into maps, and writes into a
+//     slice indexed by the range key. Anything else needs a
+//     //gicnet:allow determinism comment explaining why order cannot leak
+//     (e.g. the collected keys are sorted before use).
+type Determinism struct {
+	Pkgs []string
+}
+
+func (*Determinism) Name() string { return "determinism" }
+
+// globalRandConstructors are the math/rand package-level functions that do
+// not touch the global stream: they build seeded generators, which are
+// deterministic by construction.
+var globalRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func (a *Determinism) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !matchPrefix(a.Pkgs, pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if d, ok := a.checkCall(prog, pkg, n); ok {
+						diags = append(diags, d)
+					}
+				case *ast.RangeStmt:
+					diags = append(diags, a.checkMapRange(prog, pkg, n)...)
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+func (a *Determinism) checkCall(prog *Program, pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	obj, _ := calleeOf(pkg.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return Diagnostic{}, false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return Diagnostic{
+				Analyzer: a.Name(),
+				Pos:      prog.Fset.Position(call.Pos()),
+				Message:  fmt.Sprintf("time.%s reads the wall clock: deterministic packages must not depend on real time", fn.Name()),
+			}, true
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Type().(*types.Signature).Recv() == nil && !globalRandConstructors[fn.Name()] {
+			return Diagnostic{
+				Analyzer: a.Name(),
+				Pos:      prog.Fset.Position(call.Pos()),
+				Message:  fmt.Sprintf("%s.%s uses the process-global random stream: use a seeded source (xrand.Source) instead", fn.Pkg().Path(), fn.Name()),
+			}, true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// checkMapRange flags order-dependent sinks inside a range over a map.
+func (a *Determinism) checkMapRange(prog *Program, pkg *Package, rng *ast.RangeStmt) []Diagnostic {
+	if rng.X == nil {
+		return nil
+	}
+	t := pkg.Info.TypeOf(rng.X)
+	if t == nil {
+		return nil
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	var keyObj types.Object
+	if id, ok := rng.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyObj = pkg.Info.Defs[id]
+		if keyObj == nil {
+			keyObj = pkg.Info.Uses[id]
+		}
+	}
+
+	// Pre-pass: appends consumed by an assignment are classified by that
+	// assignment's target (keyed slots and loop-local variables are order-
+	// independent), and min/max folds are provably order-independent.
+	handledAppend := map[*ast.CallExpr]bool{}
+	foldOK := map[*ast.AssignStmt]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if c, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isAppendCall(pkg.Info, c) {
+					handledAppend[c] = true
+				}
+			}
+		case *ast.IfStmt:
+			if as := minMaxFold(pkg.Info, n); as != nil {
+				foldOK[as] = true
+			}
+		}
+		return true
+	})
+
+	diag := func(pos token.Pos, format string, args ...any) Diagnostic {
+		return Diagnostic{
+			Analyzer: a.Name(),
+			Pos:      prog.Fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		}
+	}
+	var diags []Diagnostic
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure's return leaves the closure, not the loop; writes
+			// through captures are rare enough to leave to review.
+			return false
+		case *ast.ReturnStmt:
+			diags = append(diags, diag(n.Pos(),
+				"return inside range over map: iteration order chooses the result"))
+		case *ast.CallExpr:
+			if isAppendCall(pkg.Info, n) && !handledAppend[n] {
+				diags = append(diags, diag(n.Pos(),
+					"append inside range over map: element order follows map iteration order"))
+			}
+		case *ast.IncDecStmt:
+			if root, outer := outerTarget(pkg.Info, n.X, rng); outer && !isIntegerExpr(pkg.Info, n.X) {
+				diags = append(diags, diag(n.Pos(),
+					"non-integer %s on %s inside range over map: accumulation order follows map iteration order", n.Tok, root))
+			}
+		case *ast.AssignStmt:
+			if !foldOK[n] {
+				diags = append(diags, a.checkMapRangeAssign(prog, pkg, rng, keyObj, n)...)
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	obj, _ := calleeOf(info, call)
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// minMaxFold recognises "if a OP b { x = y }" (no else, single assignment)
+// where OP is an ordering and {x, y} are syntactically {a, b}: a running
+// min/max, whose result does not depend on iteration order. Returns the
+// assignment when the shape matches.
+func minMaxFold(info *types.Info, ifs *ast.IfStmt) *ast.AssignStmt {
+	if ifs.Else != nil || ifs.Init != nil || len(ifs.Body.List) != 1 {
+		return nil
+	}
+	cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch cond.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return nil
+	}
+	as, ok := ifs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	l, r := types.ExprString(as.Lhs[0]), types.ExprString(as.Rhs[0])
+	a, b := types.ExprString(cond.X), types.ExprString(cond.Y)
+	if (l == a && r == b) || (l == b && r == a) {
+		return as
+	}
+	return nil
+}
+
+// orderFreeAssignOps are compound assignments that are exact and commutative
+// over integers (modular arithmetic), hence order-independent folds.
+var orderFreeAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.OR_ASSIGN: true, token.AND_ASSIGN: true, token.XOR_ASSIGN: true,
+}
+
+func (a *Determinism) checkMapRangeAssign(prog *Program, pkg *Package, rng *ast.RangeStmt, keyObj types.Object, as *ast.AssignStmt) []Diagnostic {
+	if as.Tok == token.DEFINE {
+		return nil // fresh variables live and die inside the loop
+	}
+	var diags []Diagnostic
+	for i, lhs := range as.Lhs {
+		lhs := ast.Unparen(lhs)
+		isAppend := false
+		if i < len(as.Rhs) {
+			if c := stripParenCall(as.Rhs[i]); c != nil {
+				isAppend = isAppendCall(pkg.Info, c)
+			}
+		}
+		// Keyed writes are order-independent: map[k] = v under distinct
+		// keys, and slice[k] = v when k is the range key itself.
+		if idx, ok := lhs.(*ast.IndexExpr); ok {
+			if lt := pkg.Info.TypeOf(idx.X); lt != nil {
+				if _, isMap := lt.Underlying().(*types.Map); isMap {
+					continue
+				}
+			}
+			if keyObj != nil {
+				if id, ok := ast.Unparen(idx.Index).(*ast.Ident); ok && pkg.Info.Uses[id] == keyObj {
+					continue
+				}
+			}
+		}
+		root, outer := outerTarget(pkg.Info, lhs, rng)
+		if !outer {
+			continue
+		}
+		if isAppend {
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name(),
+				Pos:      prog.Fset.Position(as.Pos()),
+				Message:  fmt.Sprintf("append to %s inside range over map: element order follows map iteration order", root),
+			})
+			continue
+		}
+		if orderFreeAssignOps[as.Tok] {
+			if isIntegerExpr(pkg.Info, lhs) {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name(),
+				Pos:      prog.Fset.Position(as.Pos()),
+				Message:  fmt.Sprintf("non-integer %s fold on %s inside range over map: accumulation order follows map iteration order", as.Tok, root),
+			})
+			continue
+		}
+		// Plain assignment: idempotent constant stores are fine, anything
+		// value-dependent means the last-iterated key wins.
+		if i < len(as.Rhs) {
+			if tv, ok := pkg.Info.Types[as.Rhs[i]]; ok && tv.Value != nil {
+				continue
+			}
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: a.Name(),
+			Pos:      prog.Fset.Position(as.Pos()),
+			Message:  fmt.Sprintf("assignment to %s inside range over map: the last-iterated key wins", root),
+		})
+	}
+	return diags
+}
+
+// stripParenCall returns e's call expression if it is one (unwrapping
+// parens), or nil wrapped in a harmless non-call otherwise.
+func stripParenCall(e ast.Expr) *ast.CallExpr {
+	c, _ := ast.Unparen(e).(*ast.CallExpr)
+	return c
+}
+
+// outerTarget resolves the root identifier written by an lvalue and reports
+// whether it was declared outside the range statement. Writes through
+// dereferences and selectors count as writes to their root.
+func outerTarget(info *types.Info, lhs ast.Expr, rng *ast.RangeStmt) (name string, outer bool) {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.Ident:
+			if e.Name == "_" {
+				return "_", false
+			}
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			if obj == nil {
+				return e.Name, false
+			}
+			return e.Name, obj.Pos() < rng.Pos() || obj.Pos() >= rng.End()
+		default:
+			return "", false
+		}
+	}
+}
+
+func isIntegerExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func matchPrefix(prefixes []string, path string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

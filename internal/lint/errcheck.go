@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck flags discarded error results from a configured set of
+// must-check functions — the ones the stdlib vet has no opinion on but
+// whose silent failure corrupts output files or report streams (Flush,
+// Close-on-write, json Encode, WriteFile). A call is discarded when it
+// stands alone as a statement or when its error lands in the blank
+// identifier.
+type ErrCheck struct {
+	// MustCheck lists the functions by types.FullName, e.g.
+	// "(*bufio.Writer).Flush" or "os.WriteFile".
+	MustCheck []string
+}
+
+func (*ErrCheck) Name() string { return "errcheck" }
+
+func (a *ErrCheck) Run(prog *Program) []Diagnostic {
+	must := map[string]bool{}
+	for _, name := range a.MustCheck {
+		must[name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				var blankErr bool
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = n.X.(*ast.CallExpr)
+				case *ast.AssignStmt:
+					if len(n.Rhs) != 1 {
+						return true
+					}
+					c, ok := n.Rhs[0].(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					// Only a blank in the error's result slot discards it.
+					if !errorGoesToBlank(pkg.Info, n, c) {
+						return true
+					}
+					call, blankErr = c, true
+				case *ast.DeferStmt:
+					call = n.Call
+				case *ast.GoStmt:
+					call = n.Call
+				default:
+					return true
+				}
+				if call == nil || isConversion(pkg.Info, call) {
+					return true
+				}
+				obj, _ := calleeOf(pkg.Info, call)
+				tfn, ok := obj.(*types.Func)
+				if !ok || !must[tfn.FullName()] || !returnsError(tfn) {
+					return true
+				}
+				verb := "discarded"
+				if blankErr {
+					verb = "assigned to _"
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name(),
+					Pos:      prog.Fset.Position(call.Pos()),
+					Message:  fmt.Sprintf("error result of %s %s: this call is on the must-check list", tfn.FullName(), verb),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// errorGoesToBlank reports whether the call's error result position is
+// assigned to the blank identifier in stmt.
+func errorGoesToBlank(info *types.Info, stmt *ast.AssignStmt, call *ast.CallExpr) bool {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len() && i < len(stmt.Lhs); i++ {
+		if !isErrorType(res.At(i).Type()) {
+			continue
+		}
+		if id, ok := stmt.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			return true
+		}
+	}
+	return false
+}
+
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorIface) }

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCmp flags == and != between floating-point (or complex) operands
+// outside _test.go files. Exact equality on computed floats is almost
+// always a rounding-order bug waiting to happen — the engine's goldens
+// compare through relative/absolute tolerances for exactly that reason
+// (internal/verify). Two forms stay legal:
+//
+//   - comparison against an exact constant zero ("has this probability been
+//     set at all" is well-defined: 0 is the only float every model treats
+//     as absent, and no rounding produces a false positive the code path
+//     cares about);
+//   - anything carrying a //gicnet:allow floatcmp comment stating why exact
+//     equality is intended (e.g. Frexp returns exactly 0.5 for powers of
+//     two, or a validator proving two arrays are bit-identical copies).
+type FloatCmp struct{}
+
+func (*FloatCmp) Name() string { return "floatcmp" }
+
+func (a *FloatCmp) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			if strings.HasSuffix(prog.Fset.Position(f.Pos()).Filename, "_test.go") {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloatExpr(pkg.Info, be.X) && !isFloatExpr(pkg.Info, be.Y) {
+					return true
+				}
+				if isExactZero(pkg.Info, be.X) || isExactZero(pkg.Info, be.Y) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name(),
+					Pos:      prog.Fset.Position(be.OpPos),
+					Message:  fmt.Sprintf("%s on floating-point operands: compare through a tolerance, restructure, or annotate the exact-equality intent", be.Op),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isExactZero reports whether e is a compile-time constant equal to zero.
+func isExactZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}

@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotpathMarker annotates a function as part of the Monte Carlo trial
+// kernel. The comment form, placed in the function's doc comment, is
+//
+//	//gicnet:hotpath [allow=<kind>[,<kind>...]]
+//
+// Annotated functions must be allocation-free and closed under calls: their
+// bodies may not contain make/new, map or slice composite literals,
+// &-escaping composite literals, append, closures, string<->[]byte
+// conversions, interface conversions, or fmt calls, and every static callee
+// must itself be //gicnet:hotpath or on the analyzer's allowlist
+// (math, math/bits by default). The allow= kinds (append, make, new,
+// complit, closure) open individual checks for functions with amortized
+// growth buffers — the annotation stays honest because the exception is
+// written at the function it covers.
+const HotpathMarker = "//gicnet:hotpath"
+
+// Hotpath enforces the zero-allocation contract on annotated functions.
+// The benchmark gate (0 allocs/op on the trial loop) catches regressions
+// end to end; this analyzer names the exact line that introduced one.
+type Hotpath struct {
+	// AllowCalls are callees annotated functions may call without carrying
+	// the annotation: whole packages by import path or single functions by
+	// types.FullName.
+	AllowCalls []string
+}
+
+func (*Hotpath) Name() string { return "hotpath" }
+
+// hotFunc is one annotated function: its declaration plus any allow= kinds.
+type hotFunc struct {
+	decl  *ast.FuncDecl
+	pkg   *Package
+	allow map[string]bool
+}
+
+// parseHotpathComment matches a doc-comment line against HotpathMarker and
+// returns the allow= kinds. ok is false when the line is not an annotation.
+func parseHotpathComment(text string) (allow map[string]bool, ok bool) {
+	rest, found := strings.CutPrefix(text, HotpathMarker)
+	if !found {
+		return nil, false
+	}
+	allow = map[string]bool{}
+	for _, field := range strings.Fields(rest) {
+		if kinds, isAllow := strings.CutPrefix(field, "allow="); isAllow {
+			for _, k := range strings.Split(kinds, ",") {
+				allow[k] = true
+			}
+		}
+	}
+	return allow, true
+}
+
+func (a *Hotpath) Run(prog *Program) []Diagnostic {
+	// Pass 1: collect every annotated function across the whole program, so
+	// the call rule can vet cross-package callees.
+	hot := map[*types.Func]*hotFunc{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if allow, ok := parseHotpathComment(c.Text); ok {
+						if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+							hot[fn] = &hotFunc{decl: fd, pkg: pkg, allow: allow}
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: check every annotated body.
+	var diags []Diagnostic
+	for _, hf := range hot {
+		diags = append(diags, a.checkBody(prog, hf, hot)...)
+	}
+	return diags
+}
+
+// hotpathAllowedBuiltins never allocate (panic only on the failure path,
+// where allocation no longer matters).
+var hotpathAllowedBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "delete": true,
+	"panic": true, "recover": true, "min": true, "max": true,
+	"real": true, "imag": true, "complex": true, "clear": true,
+}
+
+func (a *Hotpath) checkBody(prog *Program, hf *hotFunc, hot map[*types.Func]*hotFunc) []Diagnostic {
+	if hf.decl.Body == nil {
+		return nil
+	}
+	name := hf.decl.Name.Name
+	info := hf.pkg.Info
+	var diags []Diagnostic
+	diag := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: a.Name(),
+			Pos:      prog.Fset.Position(n.Pos()),
+			Message:  fmt.Sprintf("hotpath %s: %s", name, fmt.Sprintf(format, args...)),
+		})
+	}
+
+	// Composite literals are fine as plain stack values (struct/array
+	// results) but not when they build reference types or escape through &.
+	addrTaken := map[*ast.CompositeLit]bool{}
+	ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if cl, ok := ast.Unparen(u.X).(*ast.CompositeLit); ok {
+				addrTaken[cl] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !hf.allow["closure"] {
+				diag(n, "closure literal (captured variables escape to the heap)")
+			}
+			return false // the closure's own body is not the annotated body
+		case *ast.CompositeLit:
+			if hf.allow["complit"] {
+				return true
+			}
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				diag(n, "map literal allocates")
+			case *types.Slice:
+				diag(n, "slice literal allocates")
+			default:
+				if addrTaken[n] {
+					diag(n, "&-taken composite literal escapes to the heap")
+				}
+			}
+		case *ast.CallExpr:
+			diags = append(diags, a.checkCall(prog, hf, hot, n)...)
+		}
+		return true
+	})
+	return diags
+}
+
+func (a *Hotpath) checkCall(prog *Program, hf *hotFunc, hot map[*types.Func]*hotFunc, call *ast.CallExpr) []Diagnostic {
+	name := hf.decl.Name.Name
+	info := hf.pkg.Info
+	var diags []Diagnostic
+	diag := func(format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: a.Name(),
+			Pos:      prog.Fset.Position(call.Pos()),
+			Message:  fmt.Sprintf("hotpath %s: %s", name, fmt.Sprintf(format, args...)),
+		})
+	}
+
+	if isConversion(info, call) {
+		diags = append(diags, a.checkConversion(prog, hf, call)...)
+		return diags
+	}
+	obj, viaInterface := calleeOf(info, call)
+	switch callee := obj.(type) {
+	case *types.Builtin:
+		switch callee.Name() {
+		case "append":
+			if !hf.allow["append"] {
+				diag("append may grow the backing array (annotate allow=append only for amortized high-water buffers)")
+			}
+		case "make":
+			if !hf.allow["make"] {
+				diag("make allocates (annotate allow=make only for amortized growth paths)")
+			}
+		case "new":
+			if !hf.allow["new"] {
+				diag("new allocates")
+			}
+		default:
+			if !hotpathAllowedBuiltins[callee.Name()] {
+				diag("builtin %s is not allocation-vetted", callee.Name())
+			}
+		}
+		return diags
+	case *types.Func:
+		if viaInterface {
+			diag("call to %s through an interface cannot be allocation-vetted", callee.Name())
+			return diags
+		}
+		if _, ok := hot[callee]; !ok && !a.callAllowed(callee) {
+			if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+				diag("fmt.%s formats through interfaces and allocates", callee.Name())
+			} else {
+				diag("calls %s, which is neither //gicnet:hotpath nor allowlisted", fullName(callee))
+			}
+			return diags
+		}
+	default:
+		// nil (unresolved) or a function-typed variable/field.
+		diag("dynamic call through a function value cannot be allocation-vetted")
+		return diags
+	}
+
+	// The callee is vetted; still flag implicit interface conversions at
+	// the call site (boxing a concrete argument allocates).
+	diags = append(diags, a.checkArgBoxing(prog, hf, call)...)
+	return diags
+}
+
+// checkConversion flags the conversions that allocate: concrete value to
+// interface, and string <-> byte/rune slice copies.
+func (a *Hotpath) checkConversion(prog *Program, hf *hotFunc, call *ast.CallExpr) []Diagnostic {
+	info := hf.pkg.Info
+	dst := info.TypeOf(call.Fun)
+	if dst == nil || len(call.Args) != 1 {
+		return nil
+	}
+	src := info.TypeOf(call.Args[0])
+	name := hf.decl.Name.Name
+	bad := ""
+	switch {
+	case hf.allow["ifaceconv"]:
+	case types.IsInterface(dst) && src != nil && !types.IsInterface(src):
+		bad = fmt.Sprintf("conversion of %s to interface %s allocates", src, dst)
+	case isStringByteConv(dst, src) || isStringByteConv(src, dst):
+		bad = fmt.Sprintf("conversion between %s and %s copies", src, dst)
+	}
+	if bad == "" {
+		return nil
+	}
+	return []Diagnostic{{
+		Analyzer: a.Name(),
+		Pos:      prog.Fset.Position(call.Pos()),
+		Message:  fmt.Sprintf("hotpath %s: %s", name, bad),
+	}}
+}
+
+// checkArgBoxing flags concrete arguments passed to interface parameters of
+// an otherwise-vetted call.
+func (a *Hotpath) checkArgBoxing(prog *Program, hf *hotFunc, call *ast.CallExpr) []Diagnostic {
+	if hf.allow["ifaceconv"] {
+		return nil
+	}
+	info := hf.pkg.Info
+	ft := info.TypeOf(call.Fun)
+	if ft == nil {
+		return nil
+	}
+	sig, ok := ft.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var diags []Diagnostic
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		}
+		at := info.TypeOf(arg)
+		if pt == nil || at == nil || !types.IsInterface(pt) || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: a.Name(),
+			Pos:      prog.Fset.Position(arg.Pos()),
+			Message:  fmt.Sprintf("hotpath %s: argument boxes %s into interface %s", hf.decl.Name.Name, at, pt),
+		})
+	}
+	return diags
+}
+
+func (a *Hotpath) callAllowed(fn *types.Func) bool {
+	full := fullName(fn)
+	for _, pat := range a.AllowCalls {
+		if pat == full {
+			return true
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == pat {
+			return true
+		}
+	}
+	return false
+}
+
+func fullName(fn *types.Func) string { return fn.FullName() }
+
+func isStringByteConv(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	db, ok := dst.Underlying().(*types.Basic)
+	if !ok || db.Info()&types.IsString == 0 {
+		return false
+	}
+	ss, ok := src.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	eb, ok := ss.Elem().Underlying().(*types.Basic)
+	return ok && (eb.Kind() == types.Byte || eb.Kind() == types.Rune ||
+		eb.Kind() == types.Uint8 || eb.Kind() == types.Int32)
+}

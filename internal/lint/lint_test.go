@@ -1,0 +1,184 @@
+package lint_test
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gicnet/internal/lint"
+)
+
+// wantRE extracts the quoted regexes from a "// want" comment: double-quoted
+// or backtick-quoted, several per comment.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// loadWants scans every fixture file in dir for // want expectations.
+func loadWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			idx := strings.Index(text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("// want "):], -1) {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, line, pat, err)
+				}
+				wants = append(wants, &want{file: e.Name(), line: line, re: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return wants
+}
+
+// runFixture loads testdata/src/<name>, runs the analyzers, and checks the
+// diagnostics against the fixture's // want comments: every diagnostic must
+// match a want on its line, every want must be hit exactly once.
+func runFixture(t *testing.T, name string, analyzers []lint.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	prog, err := lint.LoadFixture(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	wants := loadWants(t, dir)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want expectations", name)
+	}
+	for _, d := range lint.Run(prog, analyzers) {
+		base := filepath.Base(d.File)
+		hit := false
+		for _, w := range wants {
+			if !w.matched && w.file == base && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, "determ", []lint.Analyzer{
+		&lint.Determinism{Pkgs: []string{"fixture/determ"}},
+	})
+}
+
+func TestHotpathFixture(t *testing.T) {
+	runFixture(t, "hotpath", []lint.Analyzer{
+		&lint.Hotpath{AllowCalls: []string{"math", "math/bits"}},
+	})
+}
+
+func TestFloatCmpFixture(t *testing.T) {
+	runFixture(t, "floatcmp", []lint.Analyzer{&lint.FloatCmp{}})
+}
+
+func TestErrCheckFixture(t *testing.T) {
+	runFixture(t, "errcheck", []lint.Analyzer{
+		&lint.ErrCheck{MustCheck: lint.DefaultConfig().MustCheck},
+	})
+}
+
+// TestRepoClean proves the real repository satisfies every contract the
+// analyzers enforce: the tree that ships is lint-clean, so any new finding
+// is a regression introduced by the change under review.
+func TestRepoClean(t *testing.T) {
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(prog, lint.Analyzers(lint.DefaultConfig()))
+	for _, d := range diags {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+}
+
+// TestDeterministicPackagesLoaded guards the config against rot: every
+// package the determinism contract names must actually exist in the module,
+// so a rename cannot silently drop a package out of enforcement.
+func TestDeterministicPackagesLoaded(t *testing.T) {
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := map[string]bool{}
+	for _, pkg := range prog.Pkgs {
+		loaded[pkg.Path] = true
+	}
+	for _, want := range lint.DefaultConfig().DeterministicPkgs {
+		if !loaded[want] {
+			t.Errorf("deterministic package %s is configured but not present in the module", want)
+		}
+	}
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

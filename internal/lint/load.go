@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Program is a fully type-checked view of a set of packages sharing one
+// token.FileSet. It is what every Analyzer runs over.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+}
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	Path  string // import path ("gicnet/internal/graph")
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadModule parses and type-checks every non-test package under the module
+// rooted at root (the directory holding go.mod), using only the standard
+// library: module-internal imports resolve against the packages being
+// loaded, everything else falls back to the toolchain's source importer.
+// Directories named testdata or vendor and hidden directories are skipped,
+// as are _test.go files — the repo contracts the analyzers enforce bind
+// shipped code, not tests.
+func LoadModule(root string) (*Program, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	type rawPkg struct {
+		path    string
+		dir     string
+		files   []*ast.File
+		imports map[string]bool
+	}
+	var raws []*rawPkg
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		files, perr := parseDir(fset, path)
+		if perr != nil {
+			return perr
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		rp := &rawPkg{path: importPath, dir: path, files: files, imports: map[string]bool{}}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p, _ := strconv.Unquote(imp.Path.Value)
+				rp.imports[p] = true
+			}
+		}
+		raws = append(raws, rp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(raws, func(i, j int) bool { return raws[i].path < raws[j].path })
+
+	// Topologically order by module-internal imports so each package's
+	// dependencies are checked (and registered with the importer) first.
+	byPath := map[string]*rawPkg{}
+	for _, rp := range raws {
+		byPath[rp.path] = rp
+	}
+	var order []*rawPkg
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(rp *rawPkg) error
+	visit = func(rp *rawPkg) error {
+		switch state[rp.path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", rp.path)
+		case 2:
+			return nil
+		}
+		state[rp.path] = 1
+		for _, dep := range sortedKeys(rp.imports) {
+			if d, ok := byPath[dep]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[rp.path] = 2
+		order = append(order, rp)
+		return nil
+	}
+	for _, rp := range raws {
+		if err := visit(rp); err != nil {
+			return nil, err
+		}
+	}
+
+	imp := &chainImporter{
+		std:  importer.ForCompiler(fset, "source", nil),
+		mods: map[string]*types.Package{},
+	}
+	prog := &Program{Fset: fset}
+	for _, rp := range order {
+		pkg, err := check(fset, rp.path, rp.files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", rp.path, err)
+		}
+		imp.mods[rp.path] = pkg.Types
+		pkg.Dir = rp.dir
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	return prog, nil
+}
+
+// LoadFixture parses and type-checks the single package in dir under the
+// given synthetic import path. Fixture packages may import the standard
+// library only; the lint test suite uses this to run analyzers over
+// testdata packages that deliberately violate the contracts.
+func LoadFixture(dir, importPath string) (*Program, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	imp := &chainImporter{
+		std:  importer.ForCompiler(fset, "source", nil),
+		mods: map[string]*types.Package{},
+	}
+	pkg, err := check(fset, importPath, files, imp)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	pkg.Dir = dir
+	return &Program{Fset: fset, Pkgs: []*Package{pkg}}, nil
+}
+
+// parseDir parses every non-test .go file directly in dir, with comments.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks one package's files.
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// chainImporter resolves module-internal packages from the in-progress load
+// and everything else (the standard library) through the source importer.
+type chainImporter struct {
+	std  types.Importer
+	mods map[string]*types.Package
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.mods[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

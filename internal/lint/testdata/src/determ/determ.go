@@ -1,0 +1,98 @@
+// Package determ is a lint fixture: every construct the determinism
+// analyzer must flag, next to the order-independent shapes it must not.
+package determ
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want "uses the process-global random stream"
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(1859)) // seeded generator: deterministic, not flagged
+	return r.Intn(6)
+}
+
+func mapAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over map"
+	}
+	return keys
+}
+
+func mapAppendSuppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//gicnet:allow determinism fixture: pretend keys are sorted below
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapReturn(m map[string]int) string {
+	for k := range m {
+		return k // want "return inside range over map"
+	}
+	return ""
+}
+
+func floatFold(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "non-integer .. fold on total"
+	}
+	return total
+}
+
+func lastWins(m map[string]int) int {
+	var got int
+	for _, v := range m {
+		got = v // want "assignment to got inside range over map"
+	}
+	return got
+}
+
+// Order-independent folds the analyzer must accept.
+func cleanFolds(m map[string]int, slots []int) (int, int, bool, map[string]int) {
+	count := 0
+	sum := 0
+	found := false
+	inverted := make(map[string]int, len(m))
+	best := 0
+	for k, v := range m {
+		count++         // integer increment: exact and commutative
+		sum += v        // integer fold: modular arithmetic
+		found = true    // constant store: idempotent
+		inverted[k] = v // keyed map write: distinct keys, distinct slots
+		if v > best {
+			best = v // min/max fold: order-independent
+		}
+		_ = slots
+	}
+	return count + best, sum, found, inverted
+}
+
+func keyedSliceWrite(m map[int]string, out []string) {
+	for k, v := range m {
+		out[k] = v // write indexed by the range key: order-independent
+	}
+}
+
+func innerAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := make([]int, 0, len(vs))
+		local = append(local, vs...) // appends to a loop-local: dies each iteration
+		n += len(local)
+	}
+	return n
+}

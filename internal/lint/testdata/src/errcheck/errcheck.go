@@ -1,0 +1,39 @@
+// Package errcheck is a lint fixture: discarded must-check errors the
+// analyzer must flag, next to the checked forms it must accept.
+package errcheck
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+func discarded(w *bufio.Writer) {
+	w.Flush() // want `error result of \(\*bufio\.Writer\)\.Flush discarded`
+}
+
+func blanked(w *bufio.Writer) {
+	_ = w.Flush() // want `error result of \(\*bufio\.Writer\)\.Flush assigned to _`
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want `error result of \(\*os\.File\)\.Close discarded`
+}
+
+func writeFile(path string, data []byte) {
+	os.WriteFile(path, data, 0o644) // want "error result of os.WriteFile discarded"
+}
+
+func checked(w *bufio.Writer) error {
+	return w.Flush() // returned to the caller: checked
+}
+
+func handled(w *bufio.Writer) {
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+}
+
+func notListed(w io.Writer, p []byte) {
+	w.Write(p) // not on the must-check list: stdlib vet territory
+}

@@ -1,0 +1,40 @@
+// Package floatcmp is a lint fixture: exact float equality the analyzer
+// must flag, next to the zero tests and suppressions it must accept.
+package floatcmp
+
+func equal(a, b float64) bool {
+	return a == b // want `== on floating-point operands`
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want `!= on floating-point operands`
+}
+
+func halfCheck(frac float64) bool {
+	return frac == 0.5 // want `== on floating-point operands`
+}
+
+func complexEqual(a, b complex128) bool {
+	return a == b // want `== on floating-point operands`
+}
+
+func zeroTest(p float64) bool {
+	return p == 0 // exact zero: well-defined sentinel test
+}
+
+func zeroTestFlipped(p float64) bool {
+	return 0.0 != p // exact zero on either side
+}
+
+func intEqual(a, b int) bool {
+	return a == b // integers compare exactly
+}
+
+func ordered(a, b float64) bool {
+	return a < b // orderings are fine; only == and != are flagged
+}
+
+func suppressed(got, want float64) bool {
+	//gicnet:allow floatcmp fixture: exact fast path before a tolerance test
+	return got == want
+}

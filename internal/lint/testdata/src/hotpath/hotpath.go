@@ -1,0 +1,111 @@
+// Package hotpath is a lint fixture: allocation sites the hotpath analyzer
+// must flag inside annotated functions, next to the allocation-free shapes
+// it must accept.
+package hotpath
+
+import (
+	"fmt"
+	"math"
+)
+
+type point struct{ x, y float64 }
+
+type adder interface{ Add(n int) int }
+
+//gicnet:hotpath
+func makesSlice(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+//gicnet:hotpath
+func newsValue() *point {
+	return new(point) // want "new allocates"
+}
+
+//gicnet:hotpath
+func appends(dst []int, v int) []int {
+	return append(dst, v) // want "append may grow the backing array"
+}
+
+//gicnet:hotpath allow=append
+func appendsAllowed(dst []int, v int) []int {
+	return append(dst, v) // amortized high-water buffer: opened by allow=append
+}
+
+//gicnet:hotpath
+func sliceLit() []int {
+	return []int{1, 2, 3} // want "slice literal allocates"
+}
+
+//gicnet:hotpath
+func mapLit() map[string]int {
+	return map[string]int{"a": 1} // want "map literal allocates"
+}
+
+//gicnet:hotpath
+func escapingLit() *point {
+	return &point{1, 2} // want "composite literal escapes to the heap"
+}
+
+//gicnet:hotpath
+func valueLit(a, b float64) point {
+	return point{a, b} // stack value: not flagged
+}
+
+//gicnet:hotpath
+func closes(n int) func() int {
+	return func() int { return n } // want "closure literal"
+}
+
+//gicnet:hotpath
+func formats(v int) {
+	fmt.Println(v) // want "fmt.Println formats through interfaces"
+}
+
+func helper(v int) int { return v + 1 }
+
+//gicnet:hotpath
+func callsUnvetted(v int) int {
+	return helper(v) // want "neither //gicnet:hotpath nor allowlisted"
+}
+
+//gicnet:hotpath
+func callsVetted(dst []int, v int) (float64, int) {
+	return math.Log1p(float64(v)), appendsAllowed(dst, v)[0] // allowlisted math + hotpath callee
+}
+
+//gicnet:hotpath
+func viaInterface(a adder) int {
+	return a.Add(1) // want "through an interface"
+}
+
+//gicnet:hotpath
+func dynamicCall(f func() int) int {
+	return f() // want "dynamic call through a function value"
+}
+
+//gicnet:hotpath
+func ifaceConv(v int) any {
+	return any(v) // want "conversion of int to interface"
+}
+
+//gicnet:hotpath
+func stringBytes(s string) []byte {
+	return []byte(s) // want "copies"
+}
+
+//gicnet:hotpath
+func boxSink(v any) any { return v }
+
+//gicnet:hotpath
+func boxesArg() any {
+	return boxSink(42) // want "boxes int into interface"
+}
+
+//gicnet:hotpath
+func cleanKernel(b []uint64, i int) bool {
+	if i < 0 || i>>6 >= len(b) {
+		panic("out of range") // panic on the failure path: allowed
+	}
+	return b[i>>6]&(1<<(uint(i)&63)) != 0
+}

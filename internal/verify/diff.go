@@ -26,6 +26,7 @@ func DefaultTolerance() Tolerance { return Tolerance{Rel: 1e-9, Abs: 1e-12} }
 
 // ok reports whether got and want are equal within the tolerance.
 func (t Tolerance) ok(got, want float64) bool {
+	//gicnet:allow floatcmp exact fast path (infinities, integers) before the tolerance test
 	if got == want { // covers infinities and exact integers
 		return true
 	}
@@ -100,10 +101,12 @@ func diffValue(path string, got, want any, tol Tolerance, out *[]Mismatch) {
 		}
 		keys := make([]string, 0, len(w))
 		for k := range w {
+			//gicnet:allow determinism keys are sorted before the walk below
 			keys = append(keys, k)
 		}
 		for k := range g {
 			if _, dup := w[k]; !dup {
+				//gicnet:allow determinism keys are sorted before the walk below
 				keys = append(keys, k)
 			}
 		}

@@ -8,9 +8,9 @@ import (
 func TestToleranceOK(t *testing.T) {
 	tol := Tolerance{Rel: 1e-9, Abs: 1e-12}
 	cases := []struct {
-		name     string
+		name      string
 		got, want float64
-		ok       bool
+		ok        bool
 	}{
 		{"exact", 1.5, 1.5, true},
 		{"within-rel", 1e6, 1e6 * (1 + 1e-10), true},

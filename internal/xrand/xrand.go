@@ -30,6 +30,8 @@ func New(seed uint64) *Source {
 const golden = 0x9e3779b97f4a7c15
 
 // Uint64 returns the next 64 pseudo-random bits.
+//
+//gicnet:hotpath
 func (s *Source) Uint64() uint64 {
 	s.state += golden
 	z := s.state
@@ -48,6 +50,8 @@ func (s *Source) Split(key uint64) *Source {
 // SplitAt is Split returning the child by value, so hot loops (one child
 // per Monte Carlo trial) can keep it on the stack and allocate nothing.
 // The stream is identical to Split(key)'s.
+//
+//gicnet:hotpath
 func (s *Source) SplitAt(key uint64) Source {
 	// Mix the parent state with the key through one SplitMix64 round each
 	// so children with adjacent keys are decorrelated.
@@ -58,12 +62,16 @@ func (s *Source) SplitAt(key uint64) Source {
 }
 
 // Float64 returns a uniform float64 in [0, 1).
+//
+//gicnet:hotpath
 func (s *Source) Float64() float64 {
 	// 53 high bits scaled by 2^-53.
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
+//
+//gicnet:hotpath
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("xrand: Intn with non-positive n")
@@ -80,6 +88,8 @@ func (s *Source) Intn(n int) int {
 }
 
 // mul64 returns the 128-bit product of a and b as (hi, lo).
+//
+//gicnet:hotpath
 func mul64(a, b uint64) (hi, lo uint64) {
 	const mask = 0xffffffff
 	aLo, aHi := a&mask, a>>32
@@ -94,11 +104,15 @@ func mul64(a, b uint64) (hi, lo uint64) {
 }
 
 // Range returns a uniform float64 in [lo, hi).
+//
+//gicnet:hotpath
 func (s *Source) Range(lo, hi float64) float64 {
 	return lo + (hi-lo)*s.Float64()
 }
 
 // Bool returns true with probability p.
+//
+//gicnet:hotpath
 func (s *Source) Bool(p float64) bool {
 	if p <= 0 {
 		return false
