@@ -10,7 +10,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test vet lint race verify validate update-golden fuzz-smoke bench bench-snapshot bench-check
+.PHONY: all build test vet lint race verify validate update-golden fuzz-smoke crosscompile bench bench-snapshot bench-check
 
 all: verify
 
@@ -36,7 +36,16 @@ lint:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/failure/... ./internal/topology/... ./internal/graph/... ./internal/partition/... ./internal/experiments/...
 
-verify: vet lint test race validate fuzz-smoke
+verify: vet lint test race validate fuzz-smoke crosscompile
+
+# Cross-compile gate: the bitset kernels ship three build variants (AVX2
+# amd64 assembly, NEON arm64 assembly, pure-Go fallback); all of them must
+# always compile, whatever machine the PR was written on.
+crosscompile:
+	GOARCH=amd64 $(GO) build ./...
+	GOARCH=arm64 $(GO) build ./...
+	$(GO) build -tags purego ./...
+	$(GO) vet -tags purego ./internal/graph
 
 # Statistical verification: diff every reproduce output against the
 # checked-in golden snapshot, check model invariants, and prove replay
@@ -51,16 +60,18 @@ update-golden:
 	$(GO) run ./cmd/validate -update
 
 # Short fuzz runs over the network-JSON parser, the failure-plan compiler,
-# and the core-contraction connectivity engine; each also replays its
+# the core-contraction connectivity engine, and the bitset kernel
+# primitives (assembly vs reference semantics); each also replays its
 # checked-in seed corpus.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadNetworkJSON$$' -fuzztime $(FUZZTIME) ./internal/dataset
 	$(GO) test -run '^$$' -fuzz '^FuzzPlanCompile$$' -fuzztime $(FUZZTIME) ./internal/failure
 	$(GO) test -run '^$$' -fuzz '^FuzzCoreContraction$$' -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzBitsetKernels$$' -fuzztime $(FUZZTIME) ./internal/graph
 
 # Quick hot-path benchmarks with allocation counts.
 bench:
-	$(GO) test -run '^$$' -bench 'Fig6CableFailures|CountryConnectivity|AblationSimWorkers|TrialLoop|PlanCompile|SampleSparse|BitsetEvaluate' -benchmem .
+	$(GO) test -run '^$$' -bench 'Fig6CableFailures|CountryConnectivity|AblationSimWorkers|TrialLoop|PlanCompile|SampleSparse|BitsetEvaluate|BitsetKernels' -benchmem .
 
 # Dated JSON snapshot of the full benchmark suite (see cmd/benchdiff).
 bench-snapshot:

@@ -33,18 +33,24 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"gicnet/internal/graph"
 )
 
 // Snapshot is the persisted form of one benchmark run.
 type Snapshot struct {
-	Date      string   `json:"date"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPU       string   `json:"cpu,omitempty"`
-	Bench     string   `json:"bench_regex"`
-	Packages  string   `json:"packages"`
-	Results   []Result `json:"results"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPU       string `json:"cpu,omitempty"`
+	// CPUFeatures names the bitset-kernel flavour the run used (avx2, neon,
+	// generic); gate mode refuses to compare runs across different flavours
+	// — an avx2 baseline would fail every generic machine spuriously.
+	CPUFeatures string   `json:"cpu_features,omitempty"`
+	Bench       string   `json:"bench_regex"`
+	Packages    string   `json:"packages"`
+	Results     []Result `json:"results"`
 }
 
 // Result is one parsed benchmark line.
@@ -112,6 +118,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Never compare measurements across incompatible machines: a baseline
+	// recorded under a different architecture or kernel flavour would fail
+	// (or pass) every gate for reasons that have nothing to do with the
+	// change under review. The intra-run speedup gates below still apply —
+	// they re-prove their claims on whatever hardware this is.
+	if base != nil && !compatible(base, snap) {
+		fmt.Printf("skipping cross-run comparison: baseline %s/%s/%s is not comparable to this machine (%s/%s/%s)\n",
+			base.GOOS, base.GOARCH, base.CPUFeatures, snap.GOOS, snap.GOARCH, snap.CPUFeatures)
+		base = nil
+	}
+
 	// Gate mode is read-only unless an output path was asked for.
 	if !*check || *out != "" {
 		path := *out
@@ -167,6 +184,22 @@ var speedupGates = []struct {
 	// contracted country trial loop is at least 2x faster than the direct
 	// full-graph engine at low-probability sweep points.
 	{"BenchmarkTrialLoopConnectivity/contracted", "BenchmarkTrialLoopConnectivity/direct", 2},
+	// The batched-kernel claim (DESIGN.md "Batched kernels and CPU
+	// dispatch"): block evaluation beats the per-trial scalar evaluate by
+	// at least 2x at the paper's high-probability sweep points (p >= 0.1),
+	// where the per-trial incidence walk used to dominate.
+	{"BenchmarkTrialLoopHighP/evaluate-batched", "BenchmarkTrialLoopHighP/evaluate-scalar", 2},
+}
+
+// compatible reports whether two snapshots were measured on comparable
+// machines: same OS, architecture, and bitset-kernel flavour. An empty
+// baseline flavour (snapshots predating the field) is unknown rather than
+// known-incompatible, so those still compare.
+func compatible(base, cur *Snapshot) bool {
+	if base.GOOS != cur.GOOS || base.GOARCH != cur.GOARCH {
+		return false
+	}
+	return base.CPUFeatures == "" || base.CPUFeatures == cur.CPUFeatures
 }
 
 // checkSpeedups verifies every applicable speedup gate, rerunning both
@@ -257,12 +290,13 @@ func run(bench, pkgs string, count int, benchtime string) (*Snapshot, error) {
 	}
 
 	snap := &Snapshot{
-		Date:      time.Now().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Bench:     bench,
-		Packages:  pkgs,
+		Date:        time.Now().Format("2006-01-02"),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUFeatures: graph.CPUFeatures(),
+		Bench:       bench,
+		Packages:    pkgs,
 	}
 	seen := make(map[string]int)
 	for _, line := range strings.Split(string(outBytes), "\n") {

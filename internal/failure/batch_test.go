@@ -1,0 +1,195 @@
+package failure
+
+import (
+	"testing"
+
+	"gicnet/internal/topology"
+	"gicnet/internal/xrand"
+)
+
+// batchModels covers every sampling-program shape: pure sparse, mixed,
+// high-probability dense, certain death, and a per-cable mix that includes
+// immortal (p=0) and certain (p=1) cables so vulnerable-node prefiltering
+// is exercised.
+func batchModels() []Model {
+	return []Model{
+		Uniform{P: 0.001},
+		Uniform{P: 0.01},
+		Uniform{P: 0.1},
+		Uniform{P: 0.5},
+		Uniform{P: 1},
+		Func{Label: "mixed", F: func(_ *topology.Network, ci int) float64 {
+			switch ci % 4 {
+			case 0:
+				return 0 // immortal: its endpoints leave vulnNodes
+			case 1:
+				return 1 // certain: baseDead template
+			case 2:
+				return 0.3 // dense Bernoulli
+			default:
+				return 0.02 // sparse bucket
+			}
+		}},
+	}
+}
+
+// TestBatchMatchesScalar is the determinism contract test: for every model
+// shape and trial-count/block-boundary combination, SampleBatch must
+// reproduce the scalar loop's per-trial masks bit for bit and EvaluateBatch
+// must reproduce Evaluate's outcomes exactly (including the float
+// divisions), regardless of where block boundaries fall.
+func TestBatchMatchesScalar(t *testing.T) {
+	nets := []*topology.Network{
+		fuzzNetwork(3, 32, 48),
+		fuzzNetwork(99, 20, 40),
+		fuzzNetwork(7, 2, 0), // no cables at all
+	}
+	trialCounts := []int{1, 3, 10, 63, 64, 65, 130}
+	for neti, net := range nets {
+		for _, model := range batchModels() {
+			plan, err := Compile(net, model, 150)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := plan.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			var scratch BatchScratch
+			scratch.Grow(plan)
+			dead := plan.NewDead()
+			out := make([]Outcome, MaxBatch)
+			for _, trials := range trialCounts {
+				root := *xrand.New(uint64(neti)*1000 + 42)
+				// Scalar reference: the exact per-trial loop sim runs.
+				want := make([]Outcome, trials)
+				masks := make([][]uint64, trials)
+				for ti := 0; ti < trials; ti++ {
+					rng := root.SplitAt(uint64(ti))
+					plan.SampleInto(dead, &rng)
+					masks[ti] = append([]uint64(nil), dead...)
+					want[ti] = plan.Evaluate(dead)
+				}
+				for t0 := 0; t0 < trials; t0 += MaxBatch {
+					n := trials - t0
+					if n > MaxBatch {
+						n = MaxBatch
+					}
+					plan.SampleBatch(&scratch, &root, uint64(t0), n)
+					for b := 0; b < n; b++ {
+						row := scratch.Row(b)
+						for wi := range row {
+							if row[wi] != masks[t0+b][wi] {
+								t.Fatalf("net %d model %s trial %d: batched mask differs from scalar at word %d",
+									neti, plan.ModelName(), t0+b, wi)
+							}
+						}
+					}
+					plan.EvaluateBatch(&scratch, n, out)
+					for b := 0; b < n; b++ {
+						if out[b] != want[t0+b] {
+							t.Fatalf("net %d model %s trial %d: batched outcome %+v != scalar %+v",
+								neti, plan.ModelName(), t0+b, out[b], want[t0+b])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchStrategiesAgree forces BOTH evaluation strategies on the same
+// blocks — bypassing the density heuristic — and requires identical
+// unreachable counts, so the column path's correctness never hides behind
+// the strategy switch.
+func TestBatchStrategiesAgree(t *testing.T) {
+	net := fuzzNetwork(11, 32, 48)
+	for _, model := range batchModels() {
+		plan, err := Compile(net, model, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var scratch BatchScratch
+		scratch.Grow(plan)
+		for _, n := range []int{1, 17, 64} {
+			root := *xrand.New(777)
+			plan.SampleBatch(&scratch, &root, 0, n)
+			colOut := make([]Outcome, n)
+			scalOut := make([]Outcome, n)
+			plan.unreachableColumns(&scratch, n, colOut)
+			for b := 0; b < n; b++ {
+				scalOut[b].NodesUnreachable = plan.unreachableScalar(scratch.Row(b))
+			}
+			for b := 0; b < n; b++ {
+				if colOut[b].NodesUnreachable != scalOut[b].NodesUnreachable {
+					t.Fatalf("model %s n=%d trial %d: columns=%d scalar=%d unreachable",
+						plan.ModelName(), n, b, colOut[b].NodesUnreachable, scalOut[b].NodesUnreachable)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPartialBlockIgnoresStaleRows poisons the scratch rows past n
+// with all-ones garbage and checks that evaluating a partial block neither
+// reads them into the outcomes nor corrupts the column path.
+func TestBatchPartialBlockIgnoresStaleRows(t *testing.T) {
+	net := fuzzNetwork(5, 24, 40)
+	plan, err := Compile(net, Uniform{P: 0.2}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch BatchScratch
+	scratch.Grow(plan)
+	const n = 5
+	root := *xrand.New(31)
+	plan.SampleBatch(&scratch, &root, 0, n)
+	want := make([]Outcome, n)
+	for b := 0; b < n; b++ {
+		want[b] = plan.Evaluate(scratch.Row(b))
+	}
+	for b := n; b < MaxBatch; b++ {
+		row := scratch.Row(b)
+		for wi := range row {
+			row[wi] = ^uint64(0)
+		}
+	}
+	got := make([]Outcome, n)
+	plan.EvaluateBatch(&scratch, n, got)
+	colGot := make([]Outcome, n)
+	plan.unreachableColumns(&scratch, n, colGot)
+	for b := 0; b < n; b++ {
+		if got[b] != want[b] {
+			t.Fatalf("trial %d: outcome %+v != %+v with poisoned stale rows", b, got[b], want[b])
+		}
+		if colGot[b].NodesUnreachable != want[b].NodesUnreachable {
+			t.Fatalf("trial %d: column path counted %d unreachable, want %d",
+				b, colGot[b].NodesUnreachable, want[b].NodesUnreachable)
+		}
+	}
+}
+
+// TestBatchScratchReuse compiles plans of different sizes through one
+// scratch, ensuring Grow resizes correctly in both directions.
+func TestBatchScratchReuse(t *testing.T) {
+	var scratch BatchScratch
+	for _, cables := range []int{48, 4, 30} {
+		net := fuzzNetwork(uint64(cables), 16, cables)
+		plan, err := Compile(net, Uniform{P: 0.3}, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch.Grow(plan)
+		root := *xrand.New(9)
+		plan.SampleBatch(&scratch, &root, 0, MaxBatch)
+		out := make([]Outcome, MaxBatch)
+		plan.EvaluateBatch(&scratch, MaxBatch, out)
+		for b := 0; b < MaxBatch; b++ {
+			rng := root.SplitAt(uint64(b))
+			dead := plan.NewDead()
+			plan.SampleInto(dead, &rng)
+			if want := plan.Evaluate(dead); out[b] != want {
+				t.Fatalf("cables=%d trial %d: %+v != %+v", cables, b, out[b], want)
+			}
+		}
+	}
+}

@@ -70,6 +70,13 @@ type Plan struct {
 	inc       *topology.IncidenceBits
 	connected int // nodes with >= 1 cable: the NodeFrac denominator
 
+	// vulnNodes lists the nodes that can possibly become unreachable: nodes
+	// with at least one incident cable, all of whose incident cables carry
+	// non-zero death probability. A node touching any immortal cable never
+	// loses connectivity, so the block evaluator's column walk skips it
+	// outright. Ascending node order.
+	vulnNodes []int32
+
 	// contraction caches the network's core contraction for the current
 	// at-risk set. Guarded by contractMu and self-validating through
 	// Matches, so arena recompiles that preserve the immortal core (every
@@ -228,6 +235,30 @@ func (p *Plan) buildSampler() {
 			end:     int(offs[e] + counts[e]),
 		})
 	}
+
+	// Vulnerable nodes: a node can only become unreachable if every one of
+	// its incident cables can die, which the per-node word masks test
+	// against the at-risk set exactly as Evaluate tests them against a dead
+	// mask. Nodes with no cables are excluded (they are outside the
+	// NodeFrac denominator too).
+	inc := p.inc
+	p.vulnNodes = growInt32s(p.vulnNodes, len(inc.MinCable))[:0]
+	for ni := range inc.MinCable {
+		lo, hi := inc.NodeStart[ni], inc.NodeStart[ni+1]
+		if lo == hi {
+			continue
+		}
+		vulnerable := true
+		for k := lo; k < hi; k++ {
+			if inc.WordMask[k]&^p.atRisk[inc.WordIdx[k]] != 0 {
+				vulnerable = false
+				break
+			}
+		}
+		if vulnerable {
+			p.vulnNodes = append(p.vulnNodes, int32(ni))
+		}
+	}
 }
 
 // Network returns the network the plan was compiled for.
@@ -370,11 +401,19 @@ func (p *Plan) Sample(rng *xrand.Source) graph.Bitset {
 //
 //gicnet:hotpath
 func (p *Plan) Evaluate(dead graph.Bitset) Outcome {
-	failed := 0
+	return p.finishOutcome(graph.PopcountWords(dead), p.unreachableScalar(dead))
+}
+
+// unreachableScalar is the per-trial unreachable-node walk shared by
+// Evaluate and the sparse strategy of EvaluateBatch: visit each dead
+// cable's endpoint nodes (once, from the node's lowest dead cable) and
+// word-AND the per-node masks against the dead bitset.
+//
+//gicnet:hotpath
+func (p *Plan) unreachableScalar(dead graph.Bitset) int {
 	inc := p.inc
 	unreachable := 0
 	for wi, w := range dead {
-		failed += bits.OnesCount64(w)
 		for w != 0 {
 			ci := wi<<6 + bits.TrailingZeros64(w)
 			w &= w - 1
@@ -395,6 +434,16 @@ func (p *Plan) Evaluate(dead graph.Bitset) Outcome {
 			}
 		}
 	}
+	return unreachable
+}
+
+// finishOutcome assembles an Outcome from the two counts with the exact
+// float expressions every evaluation path must share — the scalar and
+// batched paths stay bit-identical because the division is performed
+// identically here and nowhere else.
+//
+//gicnet:hotpath
+func (p *Plan) finishOutcome(failed, unreachable int) Outcome {
 	out := Outcome{CablesFailed: failed, NodesUnreachable: unreachable}
 	if len(p.deathProb) > 0 {
 		out.CableFrac = float64(failed) / float64(len(p.deathProb))
@@ -478,6 +527,32 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("failure: plan %s/%s: cable %d appears %d times in the sampling program, want %d",
 				p.net.Name, p.modelName, ci, n, want)
 		}
+	}
+	// vulnNodes must be exactly the connected nodes whose every incident
+	// cable is at risk — the block evaluator's correctness rests on this
+	// prefilter matching the masks Evaluate tests per trial.
+	vi := 0
+	for ni := range p.inc.MinCable {
+		lo, hi := p.inc.NodeStart[ni], p.inc.NodeStart[ni+1]
+		vulnerable := lo < hi
+		for k := lo; k < hi; k++ {
+			if p.inc.WordMask[k]&^p.atRisk[p.inc.WordIdx[k]] != 0 {
+				vulnerable = false
+				break
+			}
+		}
+		listed := vi < len(p.vulnNodes) && int(p.vulnNodes[vi]) == ni
+		if listed {
+			vi++
+		}
+		if vulnerable != listed {
+			return fmt.Errorf("failure: plan %s/%s: node %d vulnerable=%v but listed=%v in vulnNodes",
+				p.net.Name, p.modelName, ni, vulnerable, listed)
+		}
+	}
+	if vi != len(p.vulnNodes) {
+		return fmt.Errorf("failure: plan %s/%s: vulnNodes has %d entries beyond the node range",
+			p.net.Name, p.modelName, len(p.vulnNodes)-vi)
 	}
 	return nil
 }

@@ -76,28 +76,34 @@ func (b Bitset) Clear() {
 	}
 }
 
-// Count returns the number of set bits.
-//
-//gicnet:hotpath
-func (b Bitset) Count() int {
-	n := 0
-	for _, w := range b {
-		n += bits.OnesCount64(w)
-	}
-	return n
-}
-
 // CopyFrom overwrites b with src; both must have the same word length.
 //
 //gicnet:hotpath
 func (b Bitset) CopyFrom(src Bitset) { copy(b, src) }
 
 // Expand unpacks the first len(dst) bits into a bool slice, for callers
-// that still speak the unpacked representation.
+// that still speak the unpacked representation. The false-fill is a bulk
+// memclr and only the set bits are visited, via a trailing-zeros walk, so
+// sparse masks (the common Monte Carlo case) cost O(words + popcount)
+// instead of one bounds-checked Get per bit.
 //
 //gicnet:hotpath
 func (b Bitset) Expand(dst []bool) {
 	for i := range dst {
-		dst[i] = b.Get(i)
+		dst[i] = false
+	}
+	for wi, w := range b {
+		base := wi << 6
+		if base >= len(dst) {
+			return
+		}
+		for w != 0 {
+			i := base + bits.TrailingZeros64(w)
+			if i >= len(dst) {
+				return
+			}
+			dst[i] = true
+			w &= w - 1
+		}
 	}
 }

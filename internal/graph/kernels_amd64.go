@@ -1,0 +1,90 @@
+//go:build amd64 && !purego
+
+package graph
+
+// amd64 kernel dispatch. AVX2 (the positional-nibble VPSHUFB popcount in
+// kernels_amd64.s, 4 words per vector step) is selected once at init by
+// CPUID/XGETBV feature detection — the instruction set must be present AND
+// the OS must save the YMM state — and only engaged past a few vector
+// widths, where it clearly beats the scalar POPCNT chain; short masks take
+// the unrolled Go path with no dispatch cost beyond one predictable branch.
+
+// avx2MinWords is the slice length (in words) below which the unrolled Go
+// loop wins: the vector routine pays a constant setup (LUT loads,
+// VZEROUPPER) that only amortises across at least two 4-word steps.
+const avx2MinWords = 8
+
+var hasAVX2 = detectAVX2()
+
+//gicnet:hotpath
+func popcountWords(w []uint64) int {
+	if hasAVX2 && len(w) >= avx2MinWords {
+		return popcountWordsAVX2(w)
+	}
+	return popcountWordsGo(w)
+}
+
+//gicnet:hotpath
+func countAndNot(a, b []uint64) int {
+	if hasAVX2 && len(a) >= avx2MinWords {
+		return countAndNotAVX2(a, b)
+	}
+	return countAndNotGo(a, b)
+}
+
+//gicnet:hotpath
+func andNotAny(a, b []uint64) bool {
+	if hasAVX2 && len(a) >= avx2MinWords {
+		return andNotAnyAVX2(a, b)
+	}
+	return andNotAnyGo(a, b)
+}
+
+func cpuFeatures() string {
+	if hasAVX2 {
+		return "avx2"
+	}
+	return "generic"
+}
+
+// detectAVX2 is the standard AVX2 gate: CPUID leaf 7 advertises the
+// instructions, CPUID leaf 1 advertises AVX+OSXSAVE, and XGETBV confirms
+// the OS preserves the XMM and YMM register halves across context
+// switches. Every check must pass or the vector routines would fault (or
+// silently lose state) at runtime.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsaveAndAVX = 1<<27 | 1<<28
+	if ecx1&osxsaveAndAVX != osxsaveAndAVX {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	const xmmAndYMMState = 1<<1 | 1<<2
+	if xcr0&xmmAndYMMState != xmmAndYMMState {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&(1<<5) != 0
+}
+
+// Assembly-backed declarations (kernels_amd64.s). The vector routines
+// accept any slice length — full 4-word steps run through AVX2 and the
+// remainder through a scalar POPCNT tail — and b must be at least as long
+// as a for the two-operand forms (the exported wrappers reslice).
+
+//go:noescape
+func popcountWordsAVX2(w []uint64) int
+
+//go:noescape
+func countAndNotAVX2(a, b []uint64) int
+
+//go:noescape
+func andNotAnyAVX2(a, b []uint64) bool
+
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)

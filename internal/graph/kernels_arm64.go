@@ -1,0 +1,41 @@
+//go:build arm64 && !purego
+
+package graph
+
+// arm64 kernel selection. NEON (Advanced SIMD) is architecturally baseline
+// on arm64, so there is no runtime feature probe: the assembly routines in
+// kernels_arm64.s are called directly. VCNT counts bits per byte across a
+// full 128-bit vector and VUADDLV folds the lanes, giving 2 words per step
+// with no lookup table.
+
+//gicnet:hotpath
+func popcountWords(w []uint64) int {
+	if len(w) >= 2 {
+		return popcountWordsNEON(w)
+	}
+	return popcountWordsGo(w)
+}
+
+//gicnet:hotpath
+func countAndNot(a, b []uint64) int {
+	if len(a) >= 2 {
+		return countAndNotNEON(a, b)
+	}
+	return countAndNotGo(a, b)
+}
+
+//gicnet:hotpath
+func andNotAny(a, b []uint64) bool {
+	return andNotAnyGo(a, b)
+}
+
+func cpuFeatures() string { return "neon" }
+
+// Assembly-backed declarations (kernels_arm64.s). Odd trailing words fall
+// through to a scalar tail inside the routines.
+
+//go:noescape
+func popcountWordsNEON(w []uint64) int
+
+//go:noescape
+func countAndNotNEON(a, b []uint64) int

@@ -17,11 +17,12 @@ import (
 // bodies may not contain make/new, map or slice composite literals,
 // &-escaping composite literals, append, closures, string<->[]byte
 // conversions, interface conversions, or fmt calls, and every static callee
-// must itself be //gicnet:hotpath or on the analyzer's allowlist
-// (math, math/bits by default). The allow= kinds (append, make, new,
-// complit, closure) open individual checks for functions with amortized
-// growth buffers — the annotation stays honest because the exception is
-// written at the function it covers.
+// must itself be //gicnet:hotpath, an assembly-backed declaration (a Go
+// function without a body never reaches the allocator), or on the
+// analyzer's allowlist (math, math/bits by default). The allow= kinds
+// (append, make, new, complit, closure) open individual checks for
+// functions with amortized growth buffers — the annotation stays honest
+// because the exception is written at the function it covers.
 const HotpathMarker = "//gicnet:hotpath"
 
 // Hotpath enforces the zero-allocation contract on annotated functions.
@@ -63,13 +64,26 @@ func parseHotpathComment(text string) (allow map[string]bool, ok bool) {
 
 func (a *Hotpath) Run(prog *Program) []Diagnostic {
 	// Pass 1: collect every annotated function across the whole program, so
-	// the call rule can vet cross-package callees.
+	// the call rule can vet cross-package callees — and every bodiless
+	// declaration (assembly-backed function), which is an allocation-free
+	// leaf by construction: assembly cannot call the allocator, and the
+	// toolchain rejects a bodiless declaration with no implementation.
 	hot := map[*types.Func]*hotFunc{}
+	asmLeaf := map[*types.Func]bool{}
 	for _, pkg := range prog.Pkgs {
 		for _, f := range pkg.Files {
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Doc == nil {
+				if !ok {
+					continue
+				}
+				if fd.Body == nil {
+					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						asmLeaf[fn] = true
+					}
+					continue
+				}
+				if fd.Doc == nil {
 					continue
 				}
 				for _, c := range fd.Doc.List {
@@ -87,7 +101,7 @@ func (a *Hotpath) Run(prog *Program) []Diagnostic {
 	// Pass 2: check every annotated body.
 	var diags []Diagnostic
 	for _, hf := range hot {
-		diags = append(diags, a.checkBody(prog, hf, hot)...)
+		diags = append(diags, a.checkBody(prog, hf, hot, asmLeaf)...)
 	}
 	return diags
 }
@@ -100,7 +114,7 @@ var hotpathAllowedBuiltins = map[string]bool{
 	"real": true, "imag": true, "complex": true, "clear": true,
 }
 
-func (a *Hotpath) checkBody(prog *Program, hf *hotFunc, hot map[*types.Func]*hotFunc) []Diagnostic {
+func (a *Hotpath) checkBody(prog *Program, hf *hotFunc, hot map[*types.Func]*hotFunc, asmLeaf map[*types.Func]bool) []Diagnostic {
 	if hf.decl.Body == nil {
 		return nil
 	}
@@ -153,14 +167,14 @@ func (a *Hotpath) checkBody(prog *Program, hf *hotFunc, hot map[*types.Func]*hot
 				}
 			}
 		case *ast.CallExpr:
-			diags = append(diags, a.checkCall(prog, hf, hot, n)...)
+			diags = append(diags, a.checkCall(prog, hf, hot, asmLeaf, n)...)
 		}
 		return true
 	})
 	return diags
 }
 
-func (a *Hotpath) checkCall(prog *Program, hf *hotFunc, hot map[*types.Func]*hotFunc, call *ast.CallExpr) []Diagnostic {
+func (a *Hotpath) checkCall(prog *Program, hf *hotFunc, hot map[*types.Func]*hotFunc, asmLeaf map[*types.Func]bool, call *ast.CallExpr) []Diagnostic {
 	name := hf.decl.Name.Name
 	info := hf.pkg.Info
 	var diags []Diagnostic
@@ -203,7 +217,7 @@ func (a *Hotpath) checkCall(prog *Program, hf *hotFunc, hot map[*types.Func]*hot
 			diag("call to %s through an interface cannot be allocation-vetted", callee.Name())
 			return diags
 		}
-		if _, ok := hot[callee]; !ok && !a.callAllowed(callee) {
+		if _, ok := hot[callee]; !ok && !asmLeaf[callee] && !a.callAllowed(callee) {
 			if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
 				diag("fmt.%s formats through interfaces and allocates", callee.Name())
 			} else {

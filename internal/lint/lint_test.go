@@ -115,6 +115,12 @@ func TestHotpathFixture(t *testing.T) {
 	})
 }
 
+func TestAsmLeafFixture(t *testing.T) {
+	runFixture(t, "asmleaf", []lint.Analyzer{
+		&lint.Hotpath{AllowCalls: []string{"math", "math/bits"}},
+	})
+}
+
 func TestFloatCmpFixture(t *testing.T) {
 	runFixture(t, "floatcmp", []lint.Analyzer{&lint.FloatCmp{}})
 }

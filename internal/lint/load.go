@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -170,7 +172,11 @@ func LoadFixture(dir, importPath string) (*Program, error) {
 	return &Program{Fset: fset, Pkgs: []*Package{pkg}}, nil
 }
 
-// parseDir parses every non-test .go file directly in dir, with comments.
+// parseDir parses every non-test .go file directly in dir that the host
+// build configuration selects, with comments. Build-constraint filtering
+// matters because packages with GOARCH-tagged variants (the bitset kernels)
+// declare the same functions in mutually exclusive files — loading them all
+// would be a redeclaration error the real build never sees.
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -183,13 +189,80 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
 			continue
 		}
+		if !suffixSelected(name) {
+			continue
+		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
+		if !constraintSelected(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// knownGOOS/knownGOARCH are the port names the filename-suffix rule
+// recognises; a suffix outside these lists is just part of the name.
+var knownGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownGOARCH = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// suffixSelected applies the go/build filename rule: a trailing _GOARCH,
+// _GOOS, or _GOOS_GOARCH component restricts the file to that port. The
+// lint loader builds for the host configuration, like `go build` would.
+func suffixSelected(name string) bool {
+	parts := strings.Split(strings.TrimSuffix(name, ".go"), "_")
+	if n := len(parts); n >= 2 && knownGOARCH[parts[n-1]] {
+		if parts[n-1] != runtime.GOARCH {
+			return false
+		}
+		parts = parts[:n-1]
+	}
+	if n := len(parts); n >= 2 && knownGOOS[parts[n-1]] {
+		return parts[n-1] == runtime.GOOS
+	}
+	return true
+}
+
+// constraintSelected evaluates the file's //go:build (or legacy +build)
+// line for the host configuration. Tags in play: GOOS, GOARCH, and the gc
+// toolchain; anything else — purego included — is false, exactly as in a
+// plain `go build` with no -tags.
+func constraintSelected(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			ok := expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc"
+			})
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // check type-checks one package's files.

@@ -1,0 +1,44 @@
+// Package asmleaf is a lint fixture for assembly-backed declarations: a Go
+// function declared without a body is implemented in assembly, cannot reach
+// the allocator, and must therefore be accepted as an allocation-free leaf
+// by the hotpath call rule — while calls to ordinary unvetted functions on
+// the same line shape keep being flagged.
+package asmleaf
+
+// sumWordsAsm is "implemented in assembly": no body. The fixture loader
+// type-checks but never links, so no .s file is needed here.
+func sumWordsAsm(w []uint64) uint64
+
+//go:noescape
+func dotAsm(a, b []float64) float64
+
+// plainHelper is an ordinary unvetted Go function for contrast.
+func plainHelper(w []uint64) uint64 {
+	var s uint64
+	for _, x := range w {
+		s += x
+	}
+	return s
+}
+
+//gicnet:hotpath
+func callsAsmLeaf(w []uint64) uint64 {
+	return sumWordsAsm(w) // ok: bodiless declarations are assembly leaves
+}
+
+//gicnet:hotpath
+func callsNoescapeLeaf(a, b []float64) float64 {
+	return dotAsm(a, b) // ok: the pragma changes nothing, still a leaf
+}
+
+//gicnet:hotpath
+func callsPlain(w []uint64) uint64 {
+	return plainHelper(w) // want "calls fixture/asmleaf.plainHelper, which is neither"
+}
+
+//gicnet:hotpath
+func mixes(w []uint64, a, b []float64) float64 {
+	s := sumWordsAsm(w)
+	s += plainHelper(w) // want "calls fixture/asmleaf.plainHelper, which is neither"
+	return float64(s) + dotAsm(a, b)
+}

@@ -120,21 +120,28 @@ func MeanFragmentation(net *topology.Network, m failure.Model, spacingKm float64
 	agg := &Fragmentation{RegionSplit: map[geo.Region]int{}}
 	regionTotals := map[geo.Region]float64{}
 	var comps, largest, isolated float64
-	dead := plan.NewDead()
+	var batch failure.BatchScratch
+	batch.Grow(plan)
 	deadBools := make([]bool, plan.NumCables())
-	for ti := 0; ti < trials; ti++ {
-		rng := root.SplitAt(uint64(ti))
-		plan.SampleInto(dead, &rng)
-		dead.Expand(deadBools) // the isolated-node walk still speaks []bool
-		uf := scratch.ComponentsCore(cc, dead)
-		f := aggregate(net, deadBools, func(i int) int {
-			return uf.Find(int(cc.Super(graph.NodeID(i))))
-		})
-		comps += float64(f.Components)
-		largest += f.LargestFrac
-		isolated += float64(f.IsolatedNodes)
-		for r, n := range f.RegionSplit {
-			regionTotals[r] += float64(n)
+	for t0 := 0; t0 < trials; t0 += failure.MaxBatch {
+		bn := trials - t0
+		if bn > failure.MaxBatch {
+			bn = failure.MaxBatch
+		}
+		plan.SampleBatch(&batch, root, uint64(t0), bn)
+		for b := 0; b < bn; b++ {
+			dead := batch.Row(b)
+			dead.Expand(deadBools) // the isolated-node walk still speaks []bool
+			uf := scratch.ComponentsCore(cc, dead)
+			f := aggregate(net, deadBools, func(i int) int {
+				return uf.Find(int(cc.Super(graph.NodeID(i))))
+			})
+			comps += float64(f.Components)
+			largest += f.LargestFrac
+			isolated += float64(f.IsolatedNodes)
+			for r, n := range f.RegionSplit {
+				regionTotals[r] += float64(n)
+			}
 		}
 	}
 	n := float64(trials)

@@ -136,40 +136,50 @@ func RunPlan(ctx context.Context, plan *failure.Plan, cfg Config) (*Result, erro
 }
 
 // runPlanInto is the trial engine writing into caller-owned memory: res is
-// overwritten, outcomes (length cfg.Trials) backs res.Outcomes, and dead —
-// when non-nil and sized for the plan — is the serial path's scratch
-// bitset. Trial ti's RNG is split from the seed by ti, so the result is
-// identical for every worker count.
-func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Result, outcomes []failure.Outcome, dead graph.Bitset) error {
+// overwritten, outcomes (length cfg.Trials) backs res.Outcomes, and batch —
+// when non-nil — is the serial path's trial-block scratch. Trials run in
+// blocks of failure.MaxBatch, but trial ti's RNG is still split from the
+// seed by ti alone, so the result is identical for every worker count and
+// bit-identical to the historical one-trial-at-a-time loop.
+func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Result, outcomes []failure.Outcome, batch *failure.BatchScratch) error {
 	if cfg.Trials <= 0 {
 		return errors.New("sim: trials must be positive")
 	}
+	blocks := (cfg.Trials + failure.MaxBatch - 1) / failure.MaxBatch
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
+	// A block is the dispatch unit, so extra workers beyond the block count
+	// would only idle.
+	if workers > blocks {
+		workers = blocks
 	}
 
 	if workers == 1 {
 		// Keep the RNG root on the stack: the serial path is the inner loop
-		// of arena sweeps and must not allocate.
+		// of arena sweeps and, given a caller-owned scratch, must not
+		// allocate.
 		root := *xrand.New(cfg.Seed)
-		if len(dead) != graph.BitsetWords(plan.NumCables()) {
-			dead = plan.NewDead()
+		var local failure.BatchScratch
+		if batch == nil {
+			batch = &local
 		}
-		for ti := 0; ti < cfg.Trials; ti++ {
+		batch.Grow(plan)
+		for t0 := 0; t0 < cfg.Trials; t0 += failure.MaxBatch {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			rng := root.SplitAt(uint64(ti))
-			plan.SampleInto(dead, &rng)
-			outcomes[ti] = plan.Evaluate(dead)
+			n := cfg.Trials - t0
+			if n > failure.MaxBatch {
+				n = failure.MaxBatch
+			}
+			plan.SampleBatch(batch, &root, uint64(t0), n)
+			plan.EvaluateBatch(batch, n, outcomes[t0:t0+n])
 		}
 	} else {
-		// Workers claim trial indices from an atomic counter; each owns a
-		// reusable dead bitset, so the loop allocates nothing per trial.
+		// Workers claim block indices from an atomic counter; each owns a
+		// reusable block scratch, so the loop allocates nothing per block.
 		root := xrand.New(cfg.Seed)
 		var next atomic.Int64
 		var wg sync.WaitGroup
@@ -177,15 +187,20 @@ func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Resul
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				dead := plan.NewDead()
+				var scratch failure.BatchScratch
+				scratch.Grow(plan)
 				for {
-					ti := int(next.Add(1)) - 1
-					if ti >= cfg.Trials || ctx.Err() != nil {
+					bi := int(next.Add(1)) - 1
+					if bi >= blocks || ctx.Err() != nil {
 						return
 					}
-					rng := root.SplitAt(uint64(ti))
-					plan.SampleInto(dead, &rng)
-					outcomes[ti] = plan.Evaluate(dead)
+					t0 := bi * failure.MaxBatch
+					n := cfg.Trials - t0
+					if n > failure.MaxBatch {
+						n = failure.MaxBatch
+					}
+					plan.SampleBatch(&scratch, root, uint64(t0), n)
+					plan.EvaluateBatch(&scratch, n, outcomes[t0:t0+n])
 				}
 			}()
 		}
@@ -209,12 +224,12 @@ func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Resul
 }
 
 // Arena is per-worker reusable state for repeated runs: a compiled plan, a
-// dead-cable bitset, and result storage, all recycled call after call so
+// trial-block scratch, and result storage, all recycled call after call so
 // steady-state sweep cells allocate nothing. An Arena is not safe for
 // concurrent use — give each worker its own. The zero value is ready.
 type Arena struct {
 	plan     failure.Plan
-	dead     graph.Bitset
+	batch    failure.BatchScratch
 	outcomes []failure.Outcome
 	res      Result
 	uniforms map[float64]failure.Model // memoized boxed sweep models
@@ -260,8 +275,7 @@ func (a *Arena) runInto(ctx context.Context, net *topology.Network, cfg Config, 
 	if err := failure.CompileInto(&a.plan, net, cfg.Model, cfg.SpacingKm); err != nil {
 		return err
 	}
-	a.dead = graph.GrowBitset(a.dead, a.plan.NumCables())
-	return runPlanInto(ctx, &a.plan, cfg, res, outcomes, a.dead)
+	return runPlanInto(ctx, &a.plan, cfg, res, outcomes, &a.batch)
 }
 
 // ForEach runs fn(0), ..., fn(n-1) across at most workers goroutines
@@ -354,34 +368,45 @@ func PairSurvival(ctx context.Context, plan *failure.Plan, trials int, seed uint
 	}
 	net := plan.Network()
 	scratch := net.Graph().NewScratch()
-	dead := plan.NewDead()
+	var batch failure.BatchScratch
+	batch.Grow(plan)
 	root := *xrand.New(seed)
 	survived := 0
 	if direct {
 		var deadEdges graph.Bitset
-		for ti := 0; ti < trials; ti++ {
+		for t0 := 0; t0 < trials; t0 += failure.MaxBatch {
 			if err := ctx.Err(); err != nil {
 				return 0, err
 			}
-			rng := root.SplitAt(uint64(ti))
-			plan.SampleInto(dead, &rng)
-			deadEdges = net.DeadEdgeBitsInto(deadEdges, dead)
-			if scratch.AnyConnectedBits(deadEdges, from, to) {
-				survived++
+			n := trials - t0
+			if n > failure.MaxBatch {
+				n = failure.MaxBatch
+			}
+			plan.SampleBatch(&batch, &root, uint64(t0), n)
+			for b := 0; b < n; b++ {
+				deadEdges = net.DeadEdgeBitsInto(deadEdges, batch.Row(b))
+				if scratch.AnyConnectedBits(deadEdges, from, to) {
+					survived++
+				}
 			}
 		}
 	} else {
 		cc := plan.Contraction()
 		fromSupers := cc.SupersOf(nil, from)
 		toSupers := cc.SupersOf(nil, to)
-		for ti := 0; ti < trials; ti++ {
+		for t0 := 0; t0 < trials; t0 += failure.MaxBatch {
 			if err := ctx.Err(); err != nil {
 				return 0, err
 			}
-			rng := root.SplitAt(uint64(ti))
-			plan.SampleInto(dead, &rng)
-			if scratch.AnyConnectedSupers(cc, dead, fromSupers, toSupers) {
-				survived++
+			n := trials - t0
+			if n > failure.MaxBatch {
+				n = failure.MaxBatch
+			}
+			plan.SampleBatch(&batch, &root, uint64(t0), n)
+			for b := 0; b < n; b++ {
+				if scratch.AnyConnectedSupers(cc, batch.Row(b), fromSupers, toSupers) {
+					survived++
+				}
 			}
 		}
 	}

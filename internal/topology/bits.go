@@ -35,6 +35,14 @@ type IncidenceBits struct {
 	// with no cables. A fully-dead node is counted exactly once by visiting
 	// it from its lowest dead incident cable.
 	MinCable []int32
+
+	// Node → distinct incident cables (ascending), the unpacked companion
+	// of the (word, mask) pairs above: node i touches
+	// NodeCables[NodeCableStart[i]:NodeCableStart[i+1]]. The block
+	// evaluator walks cables by index to gather per-cable trial columns,
+	// which the word-packed view cannot express.
+	NodeCableStart []int32
+	NodeCables     []int32
 }
 
 // IncidenceBits returns the bit-packed incidence view, built once and
@@ -51,6 +59,10 @@ func (n *Network) buildIncidenceBits() {
 		Words:     graph.BitsetWords(len(n.Cables)),
 		NodeStart: make([]int32, nn+1),
 		MinCable:  make([]int32, nn),
+		// The node→cable CSR is cached on the network and immutable, so the
+		// incidence view can alias it directly.
+		NodeCableStart: start,
+		NodeCables:     list,
 	}
 
 	// Node → (word, mask) pairs. Each node's cable list is ascending (see
