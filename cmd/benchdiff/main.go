@@ -53,20 +53,20 @@ type Snapshot struct {
 	Results     []Result `json:"results"`
 }
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. Extra holds any custom
+// b.ReportMetric values by unit (e.g. "nvar/est" from
+// BenchmarkTailEstimate), so statistical-efficiency claims snapshot and
+// gate the same way timing claims do.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
-// benchLine matches `BenchmarkName-8  123  456.7 ns/op  89 B/op  1 allocs/op`
-// (the memory columns are optional). The GOMAXPROCS suffix is stripped
-// separately, so sub-benchmark names like `workers-4` survive intact.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
-
+// cpuLine captures the `cpu: ...` header go test prints before results.
 var cpuLine = regexp.MustCompile(`^cpu: (.+)$`)
 
 func main() {
@@ -169,6 +169,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchdiff: speedup gate failed: %s\n", strings.Join(failed, "; "))
 			os.Exit(1)
 		}
+		if failed := checkMetrics(snap); len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: metric gate failed: %s\n", strings.Join(failed, "; "))
+			os.Exit(1)
+		}
 	}
 }
 
@@ -189,6 +193,49 @@ var speedupGates = []struct {
 	// at least 2x at the paper's high-probability sweep points (p >= 0.1),
 	// where the per-trial incidence walk used to dominate.
 	{"BenchmarkTrialLoopHighP/evaluate-batched", "BenchmarkTrialLoopHighP/evaluate-scalar", 2},
+}
+
+// metricGates are statistical-efficiency claims proved from custom
+// benchmark metrics: the High benchmark's Unit value must exceed the Low
+// benchmark's by at least MinRatio. Unlike the timing gates these need no
+// noise-filtering rerun — the gated metrics are functions of fixed seeds,
+// so the measured values are deterministic. Both names must appear in the
+// run's selection (with the metric present) for a gate to apply.
+var metricGates = []struct {
+	High, Low string
+	Unit      string
+	MinRatio  float64
+}{
+	// The rare-event variance-reduction claim (DESIGN.md "Rare-event
+	// estimation"): at p=1e-4 and equal trial count, the tilted QMC
+	// estimator cuts the replicate variance of the tail estimate by at
+	// least 10x versus plain Monte Carlo.
+	{"BenchmarkTailEstimate/plain", "BenchmarkTailEstimate/is-qmc", "nvar/est", 10},
+}
+
+// checkMetrics verifies every applicable metric gate against the fresh
+// measurements.
+func checkMetrics(snap *Snapshot) []string {
+	byName := make(map[string]map[string]float64, len(snap.Results))
+	for _, r := range snap.Results {
+		byName[r.Name] = r.Extra
+	}
+	var failed []string
+	for _, g := range metricGates {
+		high, okH := byName[g.High][g.Unit]
+		low, okL := byName[g.Low][g.Unit]
+		if !okH || !okL {
+			continue
+		}
+		if low <= 0 || high < g.MinRatio*low {
+			failed = append(failed, fmt.Sprintf("%s %s (%.4g) is only %.2fx %s's (%.4g), want >=%.0fx",
+				g.High, g.Unit, high, high/low, g.Low, low, g.MinRatio))
+			continue
+		}
+		fmt.Printf("metric gate passed: %s %s is %.1fx %s's (want >=%.0fx)\n",
+			g.High, g.Unit, high/low, g.Low, g.MinRatio)
+	}
+	return failed
 }
 
 // compatible reports whether two snapshots were measured on comparable
@@ -305,36 +352,71 @@ func run(bench, pkgs string, count int, benchtime string) (*Snapshot, error) {
 			snap.CPU = m[1]
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		r, ok := parseBenchLine(line)
+		if !ok {
 			continue
-		}
-		// Go appends "-<GOMAXPROCS>" to benchmark names when it is > 1;
-		// drop exactly that so snapshots diff cleanly across core counts.
-		name := strings.TrimSuffix(m[1], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0)))
-		r := Result{Name: name}
-		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
 		}
 		// With -count > 1 each benchmark emits one line per repetition;
 		// keep the fastest. Min-of-N is the stable statistic here: noise
-		// from a shared machine only ever adds time.
-		if i, ok := seen[name]; ok {
+		// from a shared machine only ever adds time. Custom metrics ride
+		// along with the fastest repetition (they are deterministic for
+		// the benchmarks that report them, so any repetition agrees).
+		if i, ok := seen[r.Name]; ok {
 			if r.NsPerOp < snap.Results[i].NsPerOp {
 				snap.Results[i] = r
 			}
 			continue
 		}
-		seen[name] = len(snap.Results)
+		seen[r.Name] = len(snap.Results)
 		snap.Results = append(snap.Results, r)
 	}
 	if len(snap.Results) == 0 {
 		return nil, fmt.Errorf("no benchmark lines matched %q in %q", bench, pkgs)
 	}
 	return snap, nil
+}
+
+// parseBenchLine parses one `go test -bench` result line of the form
+// `BenchmarkName-8  123  456.7 ns/op  89 B/op  1 allocs/op`, where any
+// number of custom `<value> <unit>` metric pairs (from b.ReportMetric) may
+// appear among the standard columns. The GOMAXPROCS suffix is stripped so
+// snapshots diff cleanly across core counts, while sub-benchmark names
+// like `workers-4` survive intact.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))),
+		Iterations: iters,
+	}
+	sawNsPerOp := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+			sawNsPerOp = true
+		case "B/op":
+			r.BytesPerOp = int64(val)
+		case "allocs/op":
+			r.AllocsPerOp = int64(val)
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = val
+		}
+	}
+	return r, sawNsPerOp
 }
 
 // retry reruns each flagged benchmark up to two more times, keeping the

@@ -28,7 +28,7 @@ func main() {
 	trials := flag.Int("trials", 10, "Monte Carlo trials per point (paper: 10)")
 	seed := flag.Uint64("seed", dataset.DefaultSeed, "simulation seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-	only := flag.String("only", "", "comma-separated experiment ids (fig3,fig4a,fig4b,fig5,fig67,fig8,fig9,country,systems,ext-traffic,ext-recovery,ext-resilience,ext-grid,ext-solar,ext-scenario); empty = all")
+	only := flag.String("only", "", "comma-separated experiment ids (fig3,fig4a,fig4b,fig5,fig67,fig8,fig9,country,systems,ext-traffic,ext-recovery,ext-resilience,ext-grid,ext-solar,ext-scenario,ext-tail); empty = all")
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -183,6 +183,13 @@ func main() {
 	})
 	run("ext-scenario", func() error {
 		r, err := experiments.ExtScenario(world, cfg)
+		if err != nil {
+			return err
+		}
+		return r.Render(w)
+	})
+	run("ext-tail", func() error {
+		r, err := experiments.ExtTail(ctx, world, cfg)
 		if err != nil {
 			return err
 		}

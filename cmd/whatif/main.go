@@ -19,8 +19,10 @@ import (
 
 	"gicnet/internal/core"
 	"gicnet/internal/dataset"
+	"gicnet/internal/experiments"
 	"gicnet/internal/failure"
 	"gicnet/internal/partition"
+	"gicnet/internal/rare"
 	"gicnet/internal/report"
 )
 
@@ -39,6 +41,8 @@ func main() {
 	probeB := flag.String("probe-b", "region:europe", "bridge probe endpoint B")
 	hubs := flag.Int("hubs", 0, "list this many single-point-of-failure landing stations")
 	spofs := flag.Int("spof-cables", 0, "list this many single-point-of-failure cables (longest first)")
+	tail := flag.Bool("tail", false, "rare-event tail sweep: P(>=tail-threshold cables dead) down to p=1e-6, importance-sampled QMC vs plain MC")
+	tailThreshold := flag.Int("tail-threshold", 2, "tail event: at least this many cables dead")
 	flag.Parse()
 
 	world, err := dataset.Default()
@@ -120,6 +124,45 @@ func main() {
 		fmt.Println("single points of failure (critical cables, longest first):")
 		for _, c := range an.CriticalCables(*spofs) {
 			fmt.Println("  ", c)
+		}
+	}
+
+	if *tail {
+		did = true
+		tc := rare.TailConfig{
+			SpacingKm: *spacing,
+			Trials:    *trials,
+			Seed:      *seed,
+			Threshold: *tailThreshold,
+		}
+		if tc.Trials < 2048 {
+			tc.Trials = 2048 // the tail needs statistics, not the paper's 10-trial default
+		}
+		ps := experiments.TailProbabilities()
+		plain, err := rare.TailSweep(ctx, world.Submarine, tc, ps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tc.Estimator = rare.NewISQMC(0)
+		isqmc, err := rare.TailSweep(ctx, world.Submarine, tc, ps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := report.NewTable(
+			fmt.Sprintf("rare-event tail: P(>=%d cables dead), %d trials, %.0f km spacing", *tailThreshold, tc.Trials, *spacing),
+			"p", "plain-MC", "is-qmc", "is-qmc 95% CI", "ESS")
+		for i, pp := range plain {
+			iq := isqmc[i]
+			t.AddRow(
+				fmt.Sprintf("%.0e", pp.P),
+				fmt.Sprintf("%.3e", pp.TailProb),
+				fmt.Sprintf("%.3e", iq.TailProb),
+				fmt.Sprintf("[%.2e, %.2e]", iq.TailCI.Lo, iq.TailCI.Hi),
+				fmt.Sprintf("%.0f", iq.ESS),
+			)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
 		}
 	}
 

@@ -59,13 +59,9 @@ type Plan struct {
 	deathProb []float64 // per cable: 1-(1-p)^r, clamped to [0,1]
 	repeaters []int     // per cable: repeater count at spacingKm
 
-	baseDead    graph.Bitset // template: every probability-1 cable pre-set
-	atRisk      graph.Bitset // cables with non-zero death probability
-	dense       []int32      // cables sampled with one Bernoulli draw each
-	denseProb   []float64
-	groups      []sampleGroup
-	groupCables []int32
-	groupProbs  []float64
+	baseDead graph.Bitset   // template: every probability-1 cable pre-set
+	atRisk   graph.Bitset   // cables with non-zero death probability
+	prog     samplerProgram // dense + sparse-bucket program over deathProb
 
 	inc       *topology.IncidenceBits
 	connected int // nodes with >= 1 cable: the NodeFrac denominator
@@ -167,21 +163,36 @@ func envExp(prob float64) int {
 	return e
 }
 
-// buildSampler turns deathProb into the sampling program. The layout is a
-// pure function of the probabilities (no map iteration, no sorting), so
-// compilation is deterministic and allocation-free in steady state.
-func (p *Plan) buildSampler() {
-	p.baseDead = graph.GrowBitset(p.baseDead, len(p.deathProb))
-	p.atRisk = graph.GrowBitset(p.atRisk, len(p.deathProb))
+// samplerProgram is the compiled Bernoulli sampling program over one
+// per-cable probability vector: cables with probability in (0,1) are
+// bucketed by power-of-two envelope, large low-probability buckets sample
+// via geometric skips thinned to each cable's exact probability, and the
+// rest take one dense Bernoulli draw each. Cables with probability 0 or 1
+// are outside the program (the plan's template bitset covers the latter).
+// It is shared by the plan's native probabilities and by the tilted
+// distributions of the importance-sampling layer, which compile the same
+// program over a reweighted vector.
+type samplerProgram struct {
+	dense       []int32 // cables sampled with one Bernoulli draw each
+	denseProb   []float64
+	groups      []sampleGroup
+	groupCables []int32
+	groupProbs  []float64
+}
+
+// compile builds the program for probs, reusing backing arrays. The layout
+// is a pure function of the probabilities (no map iteration, no sorting),
+// so compilation is deterministic and allocation-free in steady state.
+func (sp *samplerProgram) compile(probs []float64) {
 	// Reserve worst-case capacity up front (every cable dense) so the
 	// scatter pass appends without doubling through realloc steps.
-	p.dense = growInt32s(p.dense, len(p.deathProb))[:0]
-	p.denseProb = growFloats(p.denseProb, len(p.deathProb))[:0]
-	p.groups = p.groups[:0]
+	sp.dense = growInt32s(sp.dense, len(probs))[:0]
+	sp.denseProb = growFloats(sp.denseProb, len(probs))[:0]
+	sp.groups = sp.groups[:0]
 
 	// Pass 1: count bucket occupancy.
 	var counts [maxSparseExp + 1]int32
-	for _, prob := range p.deathProb {
+	for _, prob := range probs {
 		if prob <= 0 || prob >= 1 {
 			continue
 		}
@@ -199,12 +210,84 @@ func (p *Plan) buildSampler() {
 		offs[e] = total
 		total += counts[e]
 	}
-	p.groupCables = growInt32s(p.groupCables, int(total))
-	p.groupProbs = growFloats(p.groupProbs, int(total))
+	sp.groupCables = growInt32s(sp.groupCables, int(total))
+	sp.groupProbs = growFloats(sp.groupProbs, int(total))
 
 	// Pass 2: scatter cables; within each bucket cables stay in ascending
 	// index order, which keeps the skip walk cache-friendly.
 	fill := offs
+	for ci, prob := range probs {
+		if prob <= 0 || prob >= 1 {
+			continue
+		}
+		if o := fill[envExp(prob)]; o >= 0 {
+			sp.groupCables[o] = int32(ci)
+			sp.groupProbs[o] = prob
+			fill[envExp(prob)] = o + 1
+		} else {
+			sp.dense = append(sp.dense, int32(ci))
+			sp.denseProb = append(sp.denseProb, prob)
+		}
+	}
+	for e := minSparseExp; e <= maxSparseExp; e++ {
+		if offs[e] < 0 {
+			continue
+		}
+		pmax := math.Ldexp(1, -e)
+		sp.groups = append(sp.groups, sampleGroup{
+			pmax:    pmax,
+			invLogq: 1 / math.Log1p(-pmax),
+			start:   int(offs[e]),
+			end:     int(offs[e] + counts[e]),
+		})
+	}
+}
+
+// sampleInto sets the dead bit of every cable the program kills in one
+// realisation: dense cables take one Bernoulli draw each, then each sparse
+// bucket walks its cables with geometric skips under the bucket envelope,
+// thinning each hit down to the cable's exact probability. Bits already
+// set in dead are left alone.
+//
+//gicnet:hotpath
+func (sp *samplerProgram) sampleInto(dead graph.Bitset, rng *xrand.Source) {
+	denseProb := sp.denseProb
+	for k, ci := range sp.dense {
+		if rng.Float64() < denseProb[k] {
+			dead.Set(int(ci))
+		}
+	}
+	for gi := range sp.groups {
+		g := &sp.groups[gi]
+		cables := sp.groupCables[g.start:g.end]
+		probs := sp.groupProbs[g.start:g.end]
+		i := 0
+		for {
+			u := rng.Float64()
+			if u <= 0 {
+				break // log(0) = -Inf: the skip overshoots any group
+			}
+			// Geometric skip: the next candidate under a Bernoulli(pmax)
+			// scan is floor(log(u)/log(1-pmax)) positions ahead. Compare in
+			// float space before converting — the skip can exceed int range.
+			t := math.Log(u) * g.invLogq
+			if t >= float64(len(cables)-i) {
+				break
+			}
+			i += int(t)
+			if pr := probs[i]; pr >= g.pmax || rng.Float64()*g.pmax < pr {
+				dead.Set(int(cables[i]))
+			}
+			i++
+		}
+	}
+}
+
+// buildSampler turns deathProb into the sampling program plus the plan's
+// template and at-risk bitsets.
+func (p *Plan) buildSampler() {
+	p.baseDead = graph.GrowBitset(p.baseDead, len(p.deathProb))
+	p.atRisk = graph.GrowBitset(p.atRisk, len(p.deathProb))
 	for ci, prob := range p.deathProb {
 		switch {
 		case prob <= 0:
@@ -213,28 +296,9 @@ func (p *Plan) buildSampler() {
 			p.atRisk.Set(ci)
 		default:
 			p.atRisk.Set(ci)
-			if o := fill[envExp(prob)]; o >= 0 {
-				p.groupCables[o] = int32(ci)
-				p.groupProbs[o] = prob
-				fill[envExp(prob)] = o + 1
-			} else {
-				p.dense = append(p.dense, int32(ci))
-				p.denseProb = append(p.denseProb, prob)
-			}
 		}
 	}
-	for e := minSparseExp; e <= maxSparseExp; e++ {
-		if offs[e] < 0 {
-			continue
-		}
-		pmax := math.Ldexp(1, -e)
-		p.groups = append(p.groups, sampleGroup{
-			pmax:    pmax,
-			invLogq: 1 / math.Log1p(-pmax),
-			start:   int(offs[e]),
-			end:     int(offs[e] + counts[e]),
-		})
-	}
+	p.prog.compile(p.deathProb)
 
 	// Vulnerable nodes: a node can only become unreachable if every one of
 	// its incident cables can die, which the per-node word masks test
@@ -334,36 +398,7 @@ func (p *Plan) Contraction() *graph.CoreContraction {
 //gicnet:hotpath
 func (p *Plan) SampleInto(dead graph.Bitset, rng *xrand.Source) {
 	dead.CopyFrom(p.baseDead)
-	denseProb := p.denseProb
-	for k, ci := range p.dense {
-		if rng.Float64() < denseProb[k] {
-			dead.Set(int(ci))
-		}
-	}
-	for gi := range p.groups {
-		g := &p.groups[gi]
-		cables := p.groupCables[g.start:g.end]
-		probs := p.groupProbs[g.start:g.end]
-		i := 0
-		for {
-			u := rng.Float64()
-			if u <= 0 {
-				break // log(0) = -Inf: the skip overshoots any group
-			}
-			// Geometric skip: the next candidate under a Bernoulli(pmax)
-			// scan is floor(log(u)/log(1-pmax)) positions ahead. Compare in
-			// float space before converting — the skip can exceed int range.
-			t := math.Log(u) * g.invLogq
-			if t >= float64(len(cables)-i) {
-				break
-			}
-			i += int(t)
-			if pr := probs[i]; pr >= g.pmax || rng.Float64()*g.pmax < pr {
-				dead.Set(int(cables[i]))
-			}
-			i++
-		}
-	}
+	p.prog.sampleInto(dead, rng)
 }
 
 // SampleDense draws one realisation with one Bernoulli decision per cable
@@ -500,21 +535,21 @@ func (p *Plan) Validate() error {
 			seen[ci]++
 		}
 	}
-	for _, ci := range p.dense {
+	for _, ci := range p.prog.dense {
 		seen[ci]++
 	}
-	for gi := range p.groups {
-		g := &p.groups[gi]
+	for gi := range p.prog.groups {
+		g := &p.prog.groups[gi]
 		if !(g.pmax > 0 && g.pmax <= 0.25) || g.invLogq >= 0 {
 			return fmt.Errorf("failure: plan %s/%s: sparse group %d has envelope %v invLogq %v",
 				p.net.Name, p.modelName, gi, g.pmax, g.invLogq)
 		}
 		for k := g.start; k < g.end; k++ {
-			seen[p.groupCables[k]]++
+			seen[p.prog.groupCables[k]]++
 			//gicnet:allow floatcmp groupProbs entries must be bit-identical copies of deathProb
-			if pr := p.groupProbs[k]; pr > g.pmax || pr != p.deathProb[p.groupCables[k]] {
+			if pr := p.prog.groupProbs[k]; pr > g.pmax || pr != p.deathProb[p.prog.groupCables[k]] {
 				return fmt.Errorf("failure: plan %s/%s: cable %d probability %v escapes envelope %v",
-					p.net.Name, p.modelName, p.groupCables[k], pr, g.pmax)
+					p.net.Name, p.modelName, p.prog.groupCables[k], pr, g.pmax)
 			}
 		}
 	}

@@ -1,0 +1,234 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"gicnet/internal/graph"
+	"gicnet/internal/xrand"
+)
+
+// tiltTestPlan compiles a moderately sized fuzz network under a uniform
+// model, giving a mix of dense and sparse sampler buckets.
+func tiltTestPlan(t *testing.T, p float64) *Plan {
+	t.Helper()
+	net := fuzzNetwork(1859, 24, 40)
+	plan, err := Compile(net, Uniform{P: p}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestTiltedSamplerLambdaOneIsPlain pins the no-tilt identity: at lambda
+// = 1 the tilted probabilities equal the plan's bit for bit, so the
+// compiled program consumes the same draws, produces the same
+// realisations, and every log weight is exactly zero.
+func TestTiltedSamplerLambdaOneIsPlain(t *testing.T) {
+	plan := tiltTestPlan(t, 0.05)
+	ts, err := NewTiltedSampler(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	root := xrand.New(7)
+	deadPlain := plan.NewDead()
+	deadTilt := plan.NewDead()
+	for trial := uint64(0); trial < 200; trial++ {
+		rngA := root.SplitAt(trial)
+		rngB := root.SplitAt(trial)
+		plan.SampleInto(deadPlain, &rngA)
+		logw := ts.SampleInto(deadTilt, &rngB)
+		if logw != 0 {
+			t.Fatalf("trial %d: lambda=1 log weight %v, want exactly 0", trial, logw)
+		}
+		if !bitsetEq(deadPlain, deadTilt) {
+			t.Fatalf("trial %d: lambda=1 realisation differs from plain sampler", trial)
+		}
+	}
+}
+
+// TestTiltedSamplerWeightsPriceTheTilt recomputes each trial's likelihood
+// ratio densely from the probability vectors and checks LogWeight's
+// incremental bookkeeping against it.
+func TestTiltedSamplerWeightsPriceTheTilt(t *testing.T) {
+	plan := tiltTestPlan(t, 0.02)
+	for _, lambda := range []float64{0.25, 2, 8, 50} {
+		ts, err := NewTiltedSampler(plan, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ts.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		root := xrand.New(11)
+		dead := plan.NewDead()
+		for trial := uint64(0); trial < 100; trial++ {
+			rng := root.SplitAt(trial)
+			got := ts.SampleInto(dead, &rng)
+			want := denseLogWeight(plan, ts, dead)
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("lambda=%v trial %d: log weight %v, dense recomputation %v", lambda, trial, got, want)
+			}
+		}
+	}
+}
+
+// denseLogWeight prices a realisation the slow O(cables) way.
+func denseLogWeight(plan *Plan, ts *TiltedSampler, dead graph.Bitset) float64 {
+	lw := 0.0
+	for ci := 0; ci < plan.NumCables(); ci++ {
+		p, q := plan.DeathProb(ci), ts.TiltedProb(ci)
+		if p <= 0 || p >= 1 {
+			continue
+		}
+		if dead.Get(ci) {
+			lw += math.Log(p) - math.Log(q)
+		} else {
+			lw += math.Log1p(-p) - math.Log1p(-q)
+		}
+	}
+	return lw
+}
+
+// TestTiltedSamplerMeanWeight checks unbiasedness of the weight itself:
+// E_q[w] = 1, so the sample mean of the likelihood ratios converges to 1.
+func TestTiltedSamplerMeanWeight(t *testing.T) {
+	plan := tiltTestPlan(t, 0.01)
+	for _, lambda := range []float64{2, 5} {
+		ts, err := NewTiltedSampler(plan, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := xrand.New(23)
+		dead := plan.NewDead()
+		const trials = 20000
+		sum, sumSq := 0.0, 0.0
+		for trial := uint64(0); trial < trials; trial++ {
+			rng := root.SplitAt(trial)
+			w := math.Exp(ts.SampleInto(dead, &rng))
+			sum += w
+			sumSq += w * w
+		}
+		mean := sum / trials
+		se := math.Sqrt((sumSq/trials - mean*mean) / trials)
+		if math.Abs(mean-1) > 5*se+1e-12 {
+			t.Fatalf("lambda=%v: mean weight %v +- %v, want 1 within 5 standard errors", lambda, mean, se)
+		}
+	}
+}
+
+// TestTiltedSamplerRejectsBadLambda pins the constructor contract.
+func TestTiltedSamplerRejectsBadLambda(t *testing.T) {
+	plan := tiltTestPlan(t, 0.05)
+	for _, lambda := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := NewTiltedSampler(plan, lambda); err == nil {
+			t.Fatalf("lambda=%v: expected constructor error", lambda)
+		}
+	}
+}
+
+// TestTiltedSamplerBatchMatchesSerial pins the batch entry point to the
+// per-trial one: same realisations, same weights, same split streams.
+func TestTiltedSamplerBatchMatchesSerial(t *testing.T) {
+	plan := tiltTestPlan(t, 0.05)
+	ts, err := NewTiltedSampler(plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch BatchScratch
+	batch.Grow(plan)
+	root := xrand.New(41)
+	const n = 32
+	logw := make([]float64, n)
+	ts.SampleBatch(&batch, root, 100, n, logw)
+	dead := plan.NewDead()
+	for b := 0; b < n; b++ {
+		rng := root.SplitAt(100 + uint64(b))
+		want := ts.SampleInto(dead, &rng)
+		if logw[b] != want {
+			t.Fatalf("trial %d: batch log weight %v, serial %v", b, logw[b], want)
+		}
+		if !bitsetEq(dead, batch.Row(b)) {
+			t.Fatalf("trial %d: batch realisation differs from serial", b)
+		}
+	}
+}
+
+// TestSampleIntoUMatchesPseudoRandom pins the uniform-stream seam: feeding
+// SampleIntoU the trial's own xrand stream must reproduce SampleInto
+// exactly, realisation and weight both.
+func TestSampleIntoUMatchesPseudoRandom(t *testing.T) {
+	plan := tiltTestPlan(t, 0.05)
+	ts, err := NewTiltedSampler(plan, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := xrand.New(9)
+	deadA := plan.NewDead()
+	deadB := plan.NewDead()
+	for trial := uint64(0); trial < 100; trial++ {
+		rngA := root.SplitAt(trial)
+		rngB := root.SplitAt(trial)
+		plan.SampleInto(deadA, &rngA)
+		plan.SampleIntoU(deadB, &rngB)
+		if !bitsetEq(deadA, deadB) {
+			t.Fatalf("trial %d: plan SampleIntoU diverges from SampleInto", trial)
+		}
+		rngC := root.SplitAt(trial)
+		rngD := root.SplitAt(trial)
+		wa := ts.SampleInto(deadA, &rngC)
+		wb := ts.SampleIntoU(deadB, &rngD)
+		if wa != wb || !bitsetEq(deadA, deadB) {
+			t.Fatalf("trial %d: tilted SampleIntoU diverges from SampleInto", trial)
+		}
+	}
+}
+
+// TestPlanDraws sanity-checks the uniform-consumption bound: a trial
+// driven through a counting stream must never consume more draws than
+// Draws() promises.
+func TestPlanDraws(t *testing.T) {
+	plan := tiltTestPlan(t, 0.05)
+	bound := plan.Draws()
+	if bound <= 0 {
+		t.Fatalf("Draws() = %d, want positive", bound)
+	}
+	root := xrand.New(3)
+	dead := plan.NewDead()
+	for trial := uint64(0); trial < 500; trial++ {
+		rng := root.SplitAt(trial)
+		cs := &countingStream{src: rng}
+		plan.SampleIntoU(dead, cs)
+		// Draws is an expectation-level bound, not a worst case; allow a
+		// generous factor before declaring it broken.
+		if cs.n > 16*bound+64 {
+			t.Fatalf("trial %d consumed %d uniforms, bound %d", trial, cs.n, bound)
+		}
+	}
+}
+
+type countingStream struct {
+	src xrand.Source
+	n   int
+}
+
+func (c *countingStream) Float64() float64 {
+	c.n++
+	return c.src.Float64()
+}
+
+// bitsetEq compares two equally sized bitsets word for word.
+func bitsetEq(a, b graph.Bitset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+package failure
+
+import (
+	"math"
+
+	"gicnet/internal/graph"
+	"gicnet/internal/xrand"
+)
+
+// Uniforms is a deterministic stream of uniform draws in [0,1). It is the
+// seam through which the rare-event layer substitutes scrambled
+// quasi-Monte Carlo points for pseudo-random draws; *xrand.Source is the
+// canonical pseudo-random implementation. A stream must keep producing
+// values forever (trials consume a variable number of draws), and two
+// streams built from the same inputs must produce the same values — the
+// deterministic-replay contract extends through this interface.
+type Uniforms interface {
+	Float64() float64
+}
+
+// sampleIntoU mirrors samplerProgram.sampleInto draw for draw against an
+// arbitrary uniform stream: the k-th draw decides exactly what the k-th
+// pseudo-random draw would. It is a separate body rather than a shared
+// generic so the pseudo-random hot path keeps its devirtualised calls; the
+// two loops must evolve together.
+func (sp *samplerProgram) sampleIntoU(dead graph.Bitset, u Uniforms) {
+	denseProb := sp.denseProb
+	for k, ci := range sp.dense {
+		if u.Float64() < denseProb[k] {
+			dead.Set(int(ci))
+		}
+	}
+	for gi := range sp.groups {
+		g := &sp.groups[gi]
+		cables := sp.groupCables[g.start:g.end]
+		probs := sp.groupProbs[g.start:g.end]
+		i := 0
+		for {
+			v := u.Float64()
+			if v <= 0 {
+				break // log(0) = -Inf: the skip overshoots any group
+			}
+			t := math.Log(v) * g.invLogq
+			if t >= float64(len(cables)-i) {
+				break
+			}
+			i += int(t)
+			if pr := probs[i]; pr >= g.pmax || u.Float64()*g.pmax < pr {
+				dead.Set(int(cables[i]))
+			}
+			i++
+		}
+	}
+}
+
+// SampleIntoU is SampleInto drawing its uniforms from u instead of a
+// pseudo-random source. With u = an xrand stream it produces exactly the
+// realisation SampleInto would from the same stream; with a scrambled
+// quasi-Monte Carlo stream it is the plan half of the QMC estimator.
+func (p *Plan) SampleIntoU(dead graph.Bitset, u Uniforms) {
+	dead.CopyFrom(p.baseDead)
+	p.prog.sampleIntoU(dead, u)
+}
+
+// SampleIntoU is TiltedSampler.SampleInto drawing its uniforms from u; it
+// returns the trial's log likelihood ratio exactly as SampleInto does.
+func (t *TiltedSampler) SampleIntoU(dead graph.Bitset, u Uniforms) float64 {
+	dead.CopyFrom(t.plan.baseDead)
+	t.prog.sampleIntoU(dead, u)
+	return t.LogWeight(dead)
+}
+
+// Draws returns a conservative upper bound on how many uniforms one trial
+// of the plan's sampling program consumes in expectation: one per dense
+// cable plus two per expected sparse-bucket hit plus one terminating draw
+// per bucket. QMC streams use it to size the low-discrepancy prefix of a
+// trial's draw sequence.
+func (p *Plan) Draws() int { return p.prog.expectedDraws() }
+
+// Draws is Plan.Draws for the tilted program.
+func (t *TiltedSampler) Draws() int { return t.prog.expectedDraws() }
+
+func (sp *samplerProgram) expectedDraws() int {
+	draws := float64(len(sp.dense) + len(sp.groups))
+	for gi := range sp.groups {
+		g := &sp.groups[gi]
+		for _, pr := range sp.groupProbs[g.start:g.end] {
+			draws += 2 * pr / g.pmax
+		}
+	}
+	if draws > 1<<20 {
+		return 1 << 20
+	}
+	return int(math.Ceil(draws))
+}
+
+// ensure the canonical implementation satisfies the seam.
+var _ Uniforms = (*xrand.Source)(nil)

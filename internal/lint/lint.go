@@ -77,6 +77,7 @@ func DefaultConfig() Config {
 			"gicnet/internal/failure",
 			"gicnet/internal/graph",
 			"gicnet/internal/partition",
+			"gicnet/internal/rare",
 			"gicnet/internal/experiments",
 			"gicnet/internal/verify",
 			"gicnet/internal/topology",

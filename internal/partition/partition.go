@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"gicnet/internal/dataset"
@@ -102,12 +103,24 @@ func aggregate(net *topology.Network, cableDead []bool, labelOf func(i int) int)
 
 // MeanFragmentation averages fragmentation over Monte Carlo trials.
 func MeanFragmentation(net *topology.Network, m failure.Model, spacingKm float64, trials int, seed uint64) (*Fragmentation, error) {
+	f, _, err := MeanFragmentationEst(net, m, spacingKm, trials, seed, nil)
+	return f, err
+}
+
+// MeanFragmentationEst is MeanFragmentation with an optional rare-event
+// estimator: with est != nil the trial blocks are drawn by the estimator
+// and every per-trial summary is scaled by its likelihood ratio, so the
+// returned means stay unbiased for the plan's own distribution even when
+// the draws are tilted toward catastrophe. The second return is the Kish
+// effective sample size of the weights (trials when est is nil). A nil
+// estimator reproduces MeanFragmentation draw for draw.
+func MeanFragmentationEst(net *topology.Network, m failure.Model, spacingKm float64, trials int, seed uint64, est sim.Estimator) (*Fragmentation, float64, error) {
 	if trials <= 0 {
-		return nil, errors.New("partition: trials must be positive")
+		return nil, 0, errors.New("partition: trials must be positive")
 	}
 	plan, err := failure.Compile(net, m, spacingKm)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Per-trial components run on the plan's core contraction: the dead
 	// cable bitset is the query mask and only the at-risk frontier is
@@ -120,27 +133,42 @@ func MeanFragmentation(net *topology.Network, m failure.Model, spacingKm float64
 	agg := &Fragmentation{RegionSplit: map[geo.Region]int{}}
 	regionTotals := map[geo.Region]float64{}
 	var comps, largest, isolated float64
+	var sumW, sumW2 float64
 	var batch failure.BatchScratch
 	batch.Grow(plan)
+	var logw []float64
+	if est != nil {
+		logw = make([]float64, failure.MaxBatch)
+	}
 	deadBools := make([]bool, plan.NumCables())
 	for t0 := 0; t0 < trials; t0 += failure.MaxBatch {
 		bn := trials - t0
 		if bn > failure.MaxBatch {
 			bn = failure.MaxBatch
 		}
-		plan.SampleBatch(&batch, root, uint64(t0), bn)
+		if est != nil {
+			est.SampleBlock(plan, &batch, root, uint64(t0), bn, logw[:bn])
+		} else {
+			plan.SampleBatch(&batch, root, uint64(t0), bn)
+		}
 		for b := 0; b < bn; b++ {
+			w := 1.0
+			if est != nil {
+				w = math.Exp(logw[b])
+			}
+			sumW += w
+			sumW2 += w * w
 			dead := batch.Row(b)
 			dead.Expand(deadBools) // the isolated-node walk still speaks []bool
 			uf := scratch.ComponentsCore(cc, dead)
 			f := aggregate(net, deadBools, func(i int) int {
 				return uf.Find(int(cc.Super(graph.NodeID(i))))
 			})
-			comps += float64(f.Components)
-			largest += f.LargestFrac
-			isolated += float64(f.IsolatedNodes)
+			comps += w * float64(f.Components)
+			largest += w * f.LargestFrac
+			isolated += w * float64(f.IsolatedNodes)
 			for r, n := range f.RegionSplit {
-				regionTotals[r] += float64(n)
+				regionTotals[r] += w * float64(n)
 			}
 		}
 	}
@@ -151,7 +179,11 @@ func MeanFragmentation(net *topology.Network, m failure.Model, spacingKm float64
 	for r, total := range regionTotals {
 		agg.RegionSplit[r] = int(total/n + 0.5)
 	}
-	return agg, nil
+	ess := n
+	if est != nil && sumW2 > 0 {
+		ess = sumW * sumW / sumW2
+	}
+	return agg, ess, nil
 }
 
 // Candidate is a proposed new low-latitude cable.

@@ -49,6 +49,28 @@ type Config struct {
 	Seed uint64
 	// Workers caps parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Estimator, when non-nil, replaces the plain Monte Carlo trial
+	// sampler with a custom one (importance sampling, quasi-Monte Carlo —
+	// see internal/rare). nil leaves the engine on the historical path,
+	// bit-identical to every recorded golden and replay fingerprint.
+	Estimator Estimator
+}
+
+// Estimator draws trial realisations in place of the plain Monte Carlo
+// sampler. Implementations must honour the engine's determinism contract:
+// the realisation and log weight of trial t may depend only on (plan,
+// root's state, t), never on block boundaries, worker count, or call
+// order, and SampleBlock must be safe for concurrent calls on distinct
+// scratches. The engine evaluates the sampled rows exactly as it does
+// plain trials; the weights ride along in Result.LogWeights.
+type Estimator interface {
+	// EstimatorName tags results and fingerprints; it must be a pure
+	// function of the estimator's configuration.
+	EstimatorName() string
+	// SampleBlock fills rows 0..n-1 of s with the realisations of trials
+	// t0..t0+n-1 and writes each trial's log likelihood ratio
+	// log(dP/dQ) into logw[:n] (0 for unweighted estimators).
+	SampleBlock(plan *failure.Plan, s *failure.BatchScratch, root *xrand.Source, t0 uint64, n int, logw []float64)
 }
 
 // Validate reports configuration errors.
@@ -78,6 +100,72 @@ type Result struct {
 	NodeFrac stats.Running
 	// Outcomes holds the per-trial raw outcomes, in trial order.
 	Outcomes []failure.Outcome
+	// LogWeights holds the per-trial log likelihood ratios when the run
+	// used an importance-sampling estimator, in trial order; nil on the
+	// plain Monte Carlo path. CableFrac/NodeFrac still aggregate the raw
+	// outcomes — under a tilted distribution those are statistics of the
+	// proposal, and the weighted accessors below are the estimates of the
+	// target distribution's means.
+	LogWeights []float64
+	// Estimator names the estimator that drew the trials ("" = plain
+	// Monte Carlo).
+	Estimator string
+}
+
+// Weight returns trial i's likelihood ratio (1 on the plain path).
+func (r *Result) Weight(i int) float64 {
+	if r.LogWeights == nil {
+		return 1
+	}
+	return math.Exp(r.LogWeights[i])
+}
+
+// WeightedMean returns the unnormalised importance-sampling estimate
+// (1/n) sum_i w_i f(outcome_i) of E[f] under the compiled failure
+// distribution. Because each w_i is an exact likelihood ratio the
+// estimate is unbiased, and on the plain path (all weights 1) it reduces
+// to the sample mean.
+func (r *Result) WeightedMean(f func(failure.Outcome) float64) float64 {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	total := 0.0
+	for i, o := range r.Outcomes {
+		total += r.Weight(i) * f(o)
+	}
+	return total / float64(len(r.Outcomes))
+}
+
+// WeightedVariance returns the population variance of the per-trial
+// estimator terms w_i f(outcome_i) — the quantity whose reduction the
+// rare-event layer's benchmarks gate on, since the estimator's variance is
+// this divided by the trial count.
+func (r *Result) WeightedVariance(f func(failure.Outcome) float64) float64 {
+	var run stats.Running
+	for i, o := range r.Outcomes {
+		run.Add(r.Weight(i) * f(o))
+	}
+	return run.Variance()
+}
+
+// ESS returns Kish's effective sample size (sum w)^2 / sum w^2 — how many
+// plain trials the weighted sample is worth for mean estimation. On the
+// plain path it equals the trial count; a collapsing ESS is the standard
+// diagnostic for an overdriven tilt.
+func (r *Result) ESS() float64 {
+	if r.LogWeights == nil {
+		return float64(len(r.Outcomes))
+	}
+	sum, sumSq := 0.0, 0.0
+	for i := range r.LogWeights {
+		w := r.Weight(i)
+		sum += w
+		sumSq += w * w
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / sumSq
 }
 
 // Fingerprint hashes the per-trial outcomes (FNV-1a over their binary
@@ -99,6 +187,14 @@ func (r *Result) Fingerprint() uint64 {
 		word(uint64(o.NodesUnreachable))
 		word(math.Float64bits(o.CableFrac))
 		word(math.Float64bits(o.NodeFrac))
+	}
+	// Estimator runs also pin their weights; plain runs hash exactly the
+	// bytes they always did, so historical fingerprints stay valid.
+	if r.LogWeights != nil {
+		fmt.Fprintf(h, "|est=%s|", r.Estimator)
+		for _, lw := range r.LogWeights {
+			word(math.Float64bits(lw))
+		}
 	}
 	return h.Sum64()
 }
@@ -156,6 +252,15 @@ func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Resul
 		workers = blocks
 	}
 
+	// The estimator path carries per-trial log weights; the plain path
+	// must not even allocate the slice, so a nil-estimator run stays
+	// byte-for-byte the historical engine.
+	est := cfg.Estimator
+	var logw []float64
+	if est != nil {
+		logw = make([]float64, cfg.Trials)
+	}
+
 	if workers == 1 {
 		// Keep the RNG root on the stack: the serial path is the inner loop
 		// of arena sweeps and, given a caller-owned scratch, must not
@@ -174,7 +279,11 @@ func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Resul
 			if n > failure.MaxBatch {
 				n = failure.MaxBatch
 			}
-			plan.SampleBatch(batch, &root, uint64(t0), n)
+			if est != nil {
+				est.SampleBlock(plan, batch, &root, uint64(t0), n, logw[t0:t0+n])
+			} else {
+				plan.SampleBatch(batch, &root, uint64(t0), n)
+			}
 			plan.EvaluateBatch(batch, n, outcomes[t0:t0+n])
 		}
 	} else {
@@ -199,7 +308,11 @@ func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Resul
 					if n > failure.MaxBatch {
 						n = failure.MaxBatch
 					}
-					plan.SampleBatch(&scratch, root, uint64(t0), n)
+					if est != nil {
+						est.SampleBlock(plan, &scratch, root, uint64(t0), n, logw[t0:t0+n])
+					} else {
+						plan.SampleBatch(&scratch, root, uint64(t0), n)
+					}
 					plan.EvaluateBatch(&scratch, n, outcomes[t0:t0+n])
 				}
 			}()
@@ -211,10 +324,14 @@ func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Resul
 	}
 
 	*res = Result{
-		Network:   plan.Network().Name,
-		Model:     plan.ModelName(),
-		SpacingKm: plan.SpacingKm(),
-		Outcomes:  outcomes,
+		Network:    plan.Network().Name,
+		Model:      plan.ModelName(),
+		SpacingKm:  plan.SpacingKm(),
+		Outcomes:   outcomes,
+		LogWeights: logw,
+	}
+	if est != nil {
+		res.Estimator = est.EstimatorName()
 	}
 	for _, o := range outcomes {
 		res.CableFrac.Add(o.CableFrac)

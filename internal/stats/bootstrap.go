@@ -2,6 +2,7 @@ package stats
 
 import (
 	"errors"
+	"math"
 	"sort"
 
 	"gicnet/internal/xrand"
@@ -17,16 +18,13 @@ type CI struct {
 // BootstrapCI estimates a percentile-bootstrap confidence interval for the
 // mean of xs using resamples draws. The paper reports plain standard
 // deviations over 10 trials; the bootstrap gives downstream users a
-// distribution-free alternative for small trial counts.
+// distribution-free alternative for small trial counts. Inputs containing
+// NaN are rejected (a NaN would otherwise poison the resample means and
+// sort nondeterministically); a single-element or all-equal sample
+// degenerates cleanly to the zero-width interval at that value.
 func BootstrapCI(xs []float64, level float64, resamples int, rng *xrand.Source) (CI, error) {
-	if len(xs) == 0 {
-		return CI{}, ErrEmpty
-	}
-	if level <= 0 || level >= 1 {
-		return CI{}, errors.New("stats: confidence level out of (0,1)")
-	}
-	if resamples < 10 {
-		return CI{}, errors.New("stats: need at least 10 resamples")
+	if err := checkBootstrapArgs(xs, level, resamples); err != nil {
+		return CI{}, err
 	}
 	means := make([]float64, resamples)
 	for r := 0; r < resamples; r++ {
@@ -36,14 +34,74 @@ func BootstrapCI(xs []float64, level float64, resamples int, rng *xrand.Source) 
 		}
 		means[r] = sum / float64(len(xs))
 	}
+	return percentileCI(means, level), nil
+}
+
+// WeightedBootstrapCI is BootstrapCI for the unnormalised
+// importance-sampling estimator (1/n) * sum w_i * x_i: index resamples
+// draw (weight, value) pairs together, so the interval reflects the joint
+// variability of rare hits and their likelihood ratios. Weights must be
+// finite and non-negative; NaN values or weights are rejected like
+// BootstrapCI's. With every weight 1 it matches BootstrapCI in
+// distribution.
+func WeightedBootstrapCI(xs, ws []float64, level float64, resamples int, rng *xrand.Source) (CI, error) {
+	if err := checkBootstrapArgs(xs, level, resamples); err != nil {
+		return CI{}, err
+	}
+	if len(ws) != len(xs) {
+		return CI{}, errors.New("stats: weights length mismatch")
+	}
+	for _, w := range ws {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return CI{}, errors.New("stats: weights must be finite and non-negative")
+		}
+	}
+	means := make([]float64, resamples)
+	for r := 0; r < resamples; r++ {
+		sum := 0.0
+		for i := 0; i < len(xs); i++ {
+			j := rng.Intn(len(xs))
+			sum += ws[j] * xs[j]
+		}
+		means[r] = sum / float64(len(xs))
+	}
+	return percentileCI(means, level), nil
+}
+
+// checkBootstrapArgs validates the shared BootstrapCI argument contract.
+func checkBootstrapArgs(xs []float64, level float64, resamples int) error {
+	if len(xs) == 0 {
+		return ErrEmpty
+	}
+	if level <= 0 || level >= 1 {
+		return errors.New("stats: confidence level out of (0,1)")
+	}
+	if resamples <= 0 {
+		return errors.New("stats: resamples must be positive")
+	}
+	if resamples < 10 {
+		return errors.New("stats: need at least 10 resamples")
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return errors.New("stats: sample contains NaN")
+		}
+	}
+	return nil
+}
+
+// percentileCI sorts the bootstrap replicate means in place and reads the
+// symmetric percentile interval off them.
+func percentileCI(means []float64, level float64) CI {
 	sort.Float64s(means)
+	resamples := len(means)
 	alpha := (1 - level) / 2
 	lo := means[int(alpha*float64(resamples))]
 	hiIdx := int((1 - alpha) * float64(resamples))
 	if hiIdx >= resamples {
 		hiIdx = resamples - 1
 	}
-	return CI{Lo: lo, Hi: means[hiIdx], Level: level}, nil
+	return CI{Lo: lo, Hi: means[hiIdx], Level: level}
 }
 
 // Contains reports whether v lies in the interval.

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"gicnet/internal/xrand"
+)
+
+// TestBootstrapCIRejectsBadArgs pins the argument contract shared by the
+// plain and weighted variants.
+func TestBootstrapCIRejectsBadArgs(t *testing.T) {
+	rng := xrand.New(1)
+	xs := []float64{1, 2, 3}
+	if _, err := BootstrapCI(nil, 0.95, 100, rng); err == nil {
+		t.Fatal("empty sample: expected error")
+	}
+	for _, level := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := BootstrapCI(xs, level, 100, rng); err == nil {
+			t.Fatalf("level=%v: expected error", level)
+		}
+	}
+	for _, resamples := range []int{0, -5, 9} {
+		if _, err := BootstrapCI(xs, 0.95, resamples, rng); err == nil {
+			t.Fatalf("resamples=%d: expected error", resamples)
+		}
+	}
+	if _, err := BootstrapCI([]float64{1, math.NaN()}, 0.95, 100, rng); err == nil {
+		t.Fatal("NaN sample: expected error")
+	}
+}
+
+// TestBootstrapCIDegenerateSamples: one-element and all-equal inputs must
+// give the zero-width interval at that value, never NaN.
+func TestBootstrapCIDegenerateSamples(t *testing.T) {
+	rng := xrand.New(2)
+	for _, xs := range [][]float64{{7.5}, {3, 3, 3, 3}} {
+		ci, err := BootstrapCI(xs, 0.95, 50, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(ci.Lo) || math.IsNaN(ci.Hi) {
+			t.Fatalf("degenerate sample %v: NaN interval %+v", xs, ci)
+		}
+		if ci.Lo != xs[0] || ci.Hi != xs[0] {
+			t.Fatalf("degenerate sample %v: interval [%v,%v], want exactly [%v,%v]",
+				xs, ci.Lo, ci.Hi, xs[0], xs[0])
+		}
+		if !ci.Contains(xs[0]) || ci.Width() != 0 {
+			t.Fatalf("degenerate sample %v: %+v", xs, ci)
+		}
+	}
+}
+
+// TestWeightedBootstrapCIContract: length mismatch and invalid weights
+// are rejected; unit weights reproduce the plain bootstrap exactly when
+// driven by the same stream.
+func TestWeightedBootstrapCIContract(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if _, err := WeightedBootstrapCI(xs, []float64{1, 1}, 0.95, 100, xrand.New(3)); err == nil {
+		t.Fatal("length mismatch: expected error")
+	}
+	for _, w := range []float64{math.NaN(), math.Inf(1), -1} {
+		ws := []float64{1, 1, w, 1, 1}
+		if _, err := WeightedBootstrapCI(xs, ws, 0.95, 100, xrand.New(3)); err == nil {
+			t.Fatalf("weight %v: expected error", w)
+		}
+	}
+	ones := []float64{1, 1, 1, 1, 1}
+	plain, err := BootstrapCI(xs, 0.9, 200, xrand.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := WeightedBootstrapCI(xs, ones, 0.9, 200, xrand.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	//gicnet:allow floatcmp same stream and unit weights must resample identically
+	if plain.Lo != weighted.Lo || plain.Hi != weighted.Hi {
+		t.Fatalf("unit-weight bootstrap %+v differs from plain %+v", weighted, plain)
+	}
+}
+
+// TestWeightedBootstrapCICoversWeightedMean: the interval should cover
+// the unnormalised weighted mean it bootstraps on a well-behaved sample.
+func TestWeightedBootstrapCICoversWeightedMean(t *testing.T) {
+	rng := xrand.New(5)
+	n := 400
+	xs := make([]float64, n)
+	ws := make([]float64, n)
+	sum := 0.0
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ws[i] = 0.5 + rng.Float64()
+		sum += ws[i] * xs[i]
+	}
+	mean := sum / float64(n)
+	ci, err := WeightedBootstrapCI(xs, ws, 0.99, 500, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(mean) {
+		t.Fatalf("99%% interval [%v,%v] misses the weighted mean %v", ci.Lo, ci.Hi, mean)
+	}
+	if ci.Width() <= 0 {
+		t.Fatalf("interval degenerate: %+v", ci)
+	}
+}

@@ -60,8 +60,8 @@ func TestReplayProvesWorkerIndependence(t *testing.T) {
 		cfg.Trials = 2
 	}
 	results := Replay(context.Background(), testWorld(t), cfg)
-	if len(results) != 4 {
-		t.Fatalf("replay check count = %d, want 4", len(results))
+	if len(results) != 6 {
+		t.Fatalf("replay check count = %d, want 6", len(results))
 	}
 	for _, r := range results {
 		if !r.Passed {

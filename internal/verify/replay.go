@@ -10,6 +10,7 @@ import (
 	"gicnet/internal/dataset"
 	"gicnet/internal/experiments"
 	"gicnet/internal/failure"
+	"gicnet/internal/rare"
 	"gicnet/internal/sim"
 )
 
@@ -40,7 +41,81 @@ func Replay(ctx context.Context, w *dataset.World, cfg experiments.Config) []Res
 		replaySweep(ctx, w, cfg),
 		replayFig67(ctx, w, cfg),
 		replayFig8(ctx, w, cfg),
+		replayPinned(ctx, w),
+		replayEstimator(ctx, w, cfg),
 	}
+}
+
+// Pinned fingerprints of the plain Monte Carlo engine, captured before the
+// rare-event estimator layer existed. The default path must keep producing
+// these bytes forever: any drift means the estimator seam leaked into the
+// nil-estimator trial loop. Both pins use the canonical seed at the
+// paper's 10-trial budget, serial.
+const (
+	pinnedRunFingerprint   uint64 = 0xcff318a754b39723 // sim.Run, Submarine, S1, 150km
+	pinnedSweepFingerprint uint64 = 0x6ce067845eb876da // SweepUniform, Intertubes, Uniform, 100km
+)
+
+// replayPinned replays the two pinned configurations and compares against
+// the historical constants.
+func replayPinned(ctx context.Context, w *dataset.World) Result {
+	const name = "replay-pinned-plain"
+	runCfg := sim.Config{Model: failure.S1(), SpacingKm: 150, Trials: 10, Seed: dataset.DefaultSeed, Workers: 1}
+	res, err := sim.Run(ctx, w.Submarine, runCfg)
+	if err != nil {
+		return fail(name, "pinned run: %v", err)
+	}
+	if fp := res.Fingerprint(); fp != pinnedRunFingerprint {
+		return fail(name, "pinned sim.Run fingerprint %016x != historical %016x — plain path no longer bit-identical", fp, pinnedRunFingerprint)
+	}
+	sweepCfg := sim.Config{Model: failure.Uniform{}, SpacingKm: 100, Trials: 10, Seed: dataset.DefaultSeed, Workers: 1}
+	pts, err := sim.SweepUniform(ctx, w.Intertubes, sweepCfg, sim.DefaultProbabilities())
+	if err != nil {
+		return fail(name, "pinned sweep: %v", err)
+	}
+	h := fnv.New64a()
+	for _, pt := range pts {
+		fmt.Fprintf(h, "%g:%016x|", pt.P, pt.Result.Fingerprint())
+	}
+	if fp := h.Sum64(); fp != pinnedSweepFingerprint {
+		return fail(name, "pinned sweep fingerprint %016x != historical %016x — plain path no longer bit-identical", fp, pinnedSweepFingerprint)
+	}
+	return pass(name, "plain engine still bit-identical to pre-estimator pins (%016x, %016x)",
+		pinnedRunFingerprint, pinnedSweepFingerprint)
+}
+
+// replayEstimator extends the scheduling-independence proof to the
+// rare-event estimators: tilted and quasi-random trial loops must also be
+// byte-identical across worker counts and across repetition.
+func replayEstimator(ctx context.Context, w *dataset.World, cfg experiments.Config) Result {
+	const name = "replay-estimator"
+	for _, est := range []*rare.Estimator{rare.NewIS(0), rare.NewISQMC(0)} {
+		base := sim.Config{Model: failure.Uniform{P: 1e-5}, SpacingKm: 100, Trials: cfg.Trials,
+			Seed: cfg.Seed, Estimator: est}
+		var want uint64
+		for i, workers := range ReplayWorkerCounts() {
+			c := base
+			c.Workers = workers
+			res, err := sim.Run(ctx, w.Submarine, c)
+			if err != nil {
+				return fail(name, "%s workers=%d: %v", est.EstimatorName(), workers, err)
+			}
+			fp := res.Fingerprint()
+			if i == 0 {
+				want = fp
+				again, err := sim.Run(ctx, w.Submarine, c)
+				if err != nil {
+					return fail(name, "%s repeat run: %v", est.EstimatorName(), err)
+				}
+				if again.Fingerprint() != fp {
+					return fail(name, "%s repeated serial run diverged: %016x vs %016x", est.EstimatorName(), again.Fingerprint(), fp)
+				}
+			} else if fp != want {
+				return fail(name, "%s workers=%d fingerprint %016x != serial %016x", est.EstimatorName(), workers, fp, want)
+			}
+		}
+	}
+	return pass(name, "is and is-qmc runs byte-identical across workers %v", ReplayWorkerCounts())
 }
 
 // replayRun checks sim.Run across worker counts and across repetition.
