@@ -10,7 +10,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test vet lint race verify validate update-golden fuzz-smoke crosscompile bench bench-snapshot bench-check
+.PHONY: all build test vet lint race verify validate update-golden fuzz-smoke loadtest-smoke crosscompile bench bench-snapshot bench-check
 
 all: verify
 
@@ -34,9 +34,16 @@ lint:
 # experiments share immutable contraction state across workers — race-check
 # all of them on every PR.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/failure/... ./internal/topology/... ./internal/graph/... ./internal/partition/... ./internal/experiments/...
+	$(GO) test -race ./internal/sim/... ./internal/failure/... ./internal/topology/... ./internal/graph/... ./internal/partition/... ./internal/experiments/... ./internal/serve/...
 
-verify: vet lint test race validate fuzz-smoke crosscompile
+verify: vet lint test race validate loadtest-smoke fuzz-smoke crosscompile
+
+# Serving smoke: drive the example-workload mix through a fully tiered
+# server and a no-tier baseline and require identical order-independent
+# answer fingerprints (caching/dedup/batching change no answer), plus
+# live tier traffic. See internal/serve/loadtest.
+loadtest-smoke:
+	$(GO) test -run '^TestSmoke$$' -count 1 ./internal/serve/loadtest
 
 # Cross-compile gate: the bitset kernels ship three build variants (AVX2
 # amd64 assembly, NEON arm64 assembly, pure-Go fallback); all of them must

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"gicnet/internal/core"
 	"gicnet/internal/dataset"
@@ -28,6 +29,8 @@ import (
 	"gicnet/internal/routing"
 	"gicnet/internal/satellite"
 	"gicnet/internal/scenario"
+	"gicnet/internal/serve"
+	"gicnet/internal/serve/loadtest"
 	"gicnet/internal/shutdown"
 	"gicnet/internal/sim"
 	"gicnet/internal/solar"
@@ -324,6 +327,49 @@ func BenchmarkAblationSimWorkers(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// Serving throughput: the example-workload mix through gicnetd's engine
+// (internal/serve) with every tier enabled versus the no-tier baseline.
+// One op is one full mix (256 requests, 8 clients); both sub-benchmarks
+// report req/s and the worst per-run p99 latency, which cmd/benchdiff
+// gates: full must sustain at least 3x the baseline's req/s, and its p99
+// must be no worse. Both servers pin the same cached world, so the gap
+// measured is the serving tiers' — plan reuse, result cache, dedup and
+// sweep batching — not world-generation amortisation.
+func BenchmarkServeMix(b *testing.B) {
+	w := benchWorld(b)
+	opts := loadtest.Options{Requests: 256, Concurrency: 8}
+	for _, mode := range []string{"nocache", "full"} {
+		b.Run(mode, func(b *testing.B) {
+			srv, err := serve.New(serve.Config{
+				Worlds: []*dataset.World{w}, Shards: 2, WorkersPerShard: 2,
+				Baseline: mode == "nocache",
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			var served int
+			var busy time.Duration
+			var worstP99 time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := loadtest.Run(context.Background(), srv, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				served += rep.Requests
+				busy += rep.Duration
+				if rep.P99 > worstP99 {
+					worstP99 = rep.P99
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(served)/busy.Seconds(), "req/s")
+			b.ReportMetric(float64(worstP99.Nanoseconds()), "p99-ns")
 		})
 	}
 }

@@ -78,6 +78,7 @@ func DefaultConfig() Config {
 			"gicnet/internal/graph",
 			"gicnet/internal/partition",
 			"gicnet/internal/rare",
+			"gicnet/internal/serve",
 			"gicnet/internal/experiments",
 			"gicnet/internal/verify",
 			"gicnet/internal/topology",

@@ -1,0 +1,94 @@
+package serve
+
+// lru is a small intrusive LRU map used by the serving cache tiers (plan
+// and result). Not safe for concurrent use — every instance lives under
+// its shard's mutex. Entries are doubly linked in recency order; head is
+// the most recently used, tail the eviction candidate.
+type lru[K comparable, V any] struct {
+	cap       int
+	m         map[K]*lruNode[K, V]
+	head      *lruNode[K, V]
+	tail      *lruNode[K, V]
+	evictions uint64
+}
+
+type lruNode[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *lruNode[K, V]
+}
+
+// newLRU returns an empty cache bounded to capacity entries (min 1).
+func newLRU[K comparable, V any](capacity int) *lru[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[K, V]{cap: capacity, m: make(map[K]*lruNode[K, V], capacity)}
+}
+
+// get returns the cached value and refreshes its recency.
+func (c *lru[K, V]) get(key K) (V, bool) {
+	n, ok := c.m[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.moveToFront(n)
+	return n.val, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when the cache is full.
+func (c *lru[K, V]) put(key K, val V) {
+	if n, ok := c.m[key]; ok {
+		n.val = val
+		c.moveToFront(n)
+		return
+	}
+	if len(c.m) >= c.cap {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.m, evict.key)
+		c.evictions++
+	}
+	n := &lruNode[K, V]{key: key, val: val}
+	c.m[key] = n
+	c.pushFront(n)
+}
+
+// len returns the live entry count.
+func (c *lru[K, V]) len() int { return len(c.m) }
+
+func (c *lru[K, V]) moveToFront(n *lruNode[K, V]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *lru[K, V]) pushFront(n *lruNode[K, V]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *lru[K, V]) unlink(n *lruNode[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

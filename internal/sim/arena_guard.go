@@ -1,0 +1,11 @@
+//go:build !race
+
+package sim
+
+// Non-race builds compile the Arena misuse guard away entirely: the
+// acquire/release pairs inline to nothing, so the guard costs the hot
+// sweep loops zero cycles outside `go test -race`. See
+// arena_guard_race.go for the armed version.
+
+func (a *Arena) acquire() {}
+func (a *Arena) release() {}

@@ -1,0 +1,22 @@
+//go:build race
+
+package sim
+
+// Race-detector builds arm the Arena misuse guard: every run entry point
+// claims the arena with one CAS and releases it on exit. Two goroutines
+// inside the same arena is always a caller bug (the documented contract is
+// one arena per worker); the guard turns the silent data race into an
+// immediate, attributable panic — and because the loser panics before
+// touching any arena field, the winner's run stays race-free, so tests can
+// recover the panic and assert on it even under -race.
+
+// acquire claims exclusive ownership of the arena, panicking if another
+// goroutine already holds it.
+func (a *Arena) acquire() {
+	if !a.owner.CompareAndSwap(0, 1) {
+		panic("sim: Arena used concurrently from multiple goroutines; give each worker its own arena")
+	}
+}
+
+// release returns the arena to the unowned state.
+func (a *Arena) release() { a.owner.Store(0) }

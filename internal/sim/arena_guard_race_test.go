@@ -1,0 +1,82 @@
+//go:build race
+
+package sim
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"gicnet/internal/failure"
+)
+
+// TestArenaGuardFiresOnConcurrentUse proves the race-build misuse guard
+// fails loudly: two goroutines entering one arena at once must panic in at
+// least one of them, with the contract spelled out in the message. The
+// guard panics before the losing goroutine touches any arena field, so the
+// surviving run stays race-free and the panic is safely recoverable here.
+func TestArenaGuardFiresOnConcurrentUse(t *testing.T) {
+	net := lineNetwork(64)
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: failure.Uniform{P: 0.1}, SpacingKm: 100, Trials: 4096, Seed: 7, Workers: 1}
+
+	a := NewArena()
+	const goroutines = 4
+	panics := make(chan string, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r.(string)
+				}
+			}()
+			// Repeat so overlap is all but certain even on one core.
+			for i := 0; i < 25; i++ {
+				if _, err := a.RunModel(context.Background(), net, cfg); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(panics)
+	caught := 0
+	for msg := range panics {
+		caught++
+		if !strings.Contains(msg, "Arena used concurrently") {
+			t.Fatalf("guard panic message %q does not name the misuse", msg)
+		}
+	}
+	if caught == 0 {
+		t.Fatal("four goroutines shared one Arena and the guard never fired")
+	}
+}
+
+// TestArenaGuardAllowsSequentialReuse pins the other half of the contract:
+// handing an arena from goroutine to goroutine sequentially is legal, and
+// the guard must stay silent.
+func TestArenaGuardAllowsSequentialReuse(t *testing.T) {
+	net := lineNetwork(32)
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: failure.Uniform{P: 0.2}, SpacingKm: 100, Trials: 64, Seed: 3, Workers: 1}
+	a := NewArena()
+	for i := 0; i < 4; i++ {
+		done := make(chan error, 1)
+		go func() {
+			_, err := a.RunModel(context.Background(), net, cfg)
+			done <- err
+		}()
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -350,6 +350,11 @@ type Arena struct {
 	outcomes []failure.Outcome
 	res      Result
 	uniforms map[float64]failure.Model // memoized boxed sweep models
+
+	// owner is the concurrent-misuse guard: race-detector builds CAS it on
+	// entry to every run and panic if a second goroutine is already inside
+	// (see arena_guard_race.go). Non-race builds compile the check away.
+	owner atomic.Int32
 }
 
 // uniformModel returns a Uniform model for p, memoized so repeated sweeps
@@ -377,10 +382,36 @@ func (a *Arena) RunModel(ctx context.Context, net *topology.Network, cfg Config)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	a.acquire()
+	defer a.release()
 	if cap(a.outcomes) < cfg.Trials {
 		a.outcomes = make([]failure.Outcome, cfg.Trials)
 	}
 	if err := a.runInto(ctx, net, cfg, &a.res, a.outcomes[:cfg.Trials]); err != nil {
+		return nil, err
+	}
+	return &a.res, nil
+}
+
+// RunPlan runs cfg's trials against a shared, already-compiled plan using
+// the arena's scratch and result storage. The plan is immutable and safe to
+// share across arenas and goroutines; only the arena is single-owner state.
+// cfg.Model and cfg.SpacingKm are ignored — the plan identifies the run.
+// Results are bit-identical to the package-level RunPlan; the returned
+// Result and its Outcomes are owned by the arena and valid only until the
+// next call. It is the serving layer's execution primitive: the plan comes
+// from a cache tier, the arena from the shard's executor, and steady-state
+// requests allocate nothing.
+func (a *Arena) RunPlan(ctx context.Context, plan *failure.Plan, cfg Config) (*Result, error) {
+	if cfg.Trials <= 0 {
+		return nil, errors.New("sim: trials must be positive")
+	}
+	a.acquire()
+	defer a.release()
+	if cap(a.outcomes) < cfg.Trials {
+		a.outcomes = make([]failure.Outcome, cfg.Trials)
+	}
+	if err := runPlanInto(ctx, plan, cfg, &a.res, a.outcomes[:cfg.Trials], &a.batch); err != nil {
 		return nil, err
 	}
 	return &a.res, nil
@@ -608,7 +639,10 @@ func sweepUniform(ctx context.Context, net *topology.Network, cfg Config, ps []f
 			c.Workers = 1
 		}
 		outcomes := backing[i*cfg.Trials : (i+1)*cfg.Trials : (i+1)*cfg.Trials]
-		if err := a.runInto(ctx, net, c, &results[i], outcomes); err != nil {
+		a.acquire()
+		err := a.runInto(ctx, net, c, &results[i], outcomes)
+		a.release()
+		if err != nil {
 			return fmt.Errorf("sweep p=%g: %w", ps[i], err)
 		}
 		out[i] = SweepPoint{P: ps[i], Result: &results[i]}

@@ -152,22 +152,45 @@ func (n *Network) CoreContraction(atRiskCables graph.Bitset) *graph.CoreContract
 	})
 	n.contractMu.Lock()
 	defer n.contractMu.Unlock()
-	for _, cc := range n.contractions {
+	for i, cc := range n.contractions {
 		if cc.Matches(g, atRiskCables) {
+			n.contractHits++
+			// LRU: move the hit to the back (most recently used), so a
+			// steady working set survives one-off at-risk sets passing
+			// through.
+			copy(n.contractions[i:], n.contractions[i+1:])
+			n.contractions[len(n.contractions)-1] = cc
 			return cc
 		}
 	}
+	n.contractMisses++
 	cc := graph.NewCoreContraction(g, n.edgeClasses, len(n.Cables), atRiskCables)
-	// FIFO-bound the cache: distinct at-risk sets are model families, of
+	// LRU-bound the cache: distinct at-risk sets are model families, of
 	// which a process sees a handful, but a pathological caller sweeping
 	// per-cable immortality must not accumulate one contraction per sweep
-	// point.
-	if len(n.contractions) >= 8 {
+	// point. The least recently used entry (front) is evicted.
+	if len(n.contractions) >= contractionCacheCap {
 		copy(n.contractions, n.contractions[1:])
 		n.contractions = n.contractions[:len(n.contractions)-1]
 	}
 	n.contractions = append(n.contractions, cc)
 	return cc
+}
+
+// contractionCacheCap bounds the per-network contraction LRU. A process
+// sees one at-risk set per model family, so 8 covers every workload the
+// repo ships while still bounding adversarial sweeps.
+const contractionCacheCap = 8
+
+// ContractionCacheStats returns the lifetime hit/miss counters of the
+// network's contraction LRU. A hit is a CoreContraction call answered from
+// the cache; a miss paid a full contraction build. The serving layer
+// reports these per shard so cache effectiveness is observable in
+// production.
+func (n *Network) ContractionCacheStats() (hits, misses uint64) {
+	n.contractMu.Lock()
+	defer n.contractMu.Unlock()
+	return n.contractHits, n.contractMisses
 }
 
 // DeadEdgeBitsInto projects per-cable death onto graph edges as a packed

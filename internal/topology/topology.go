@@ -94,10 +94,15 @@ type Network struct {
 	// plan per probability but nearly all of them share one at-risk set
 	// (every repeatered cable), so the contraction build — the only
 	// per-plan cost that is linear in the full graph — is paid once per
-	// network, not once per compile. Guarded by contractMu; entries are
+	// network, not once per compile. The cache is a small LRU (most
+	// recently used at the back of the slice) with lifetime hit/miss
+	// counters, so the serving layer can report contraction-tier cache
+	// effectiveness per shard. Guarded by contractMu; entries are
 	// immutable once published.
-	contractMu   sync.Mutex
-	contractions []*graph.CoreContraction
+	contractMu     sync.Mutex
+	contractions   []*graph.CoreContraction
+	contractHits   uint64
+	contractMisses uint64
 
 	incOnce        sync.Once
 	nodeCableStart []int32 // CSR offsets: node i's cables are nodeCables[start[i]:start[i+1]]

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"gicnet/internal/geo"
+	"gicnet/internal/graph"
 )
 
 // testNetwork builds a small network:
@@ -398,5 +399,73 @@ func TestAliveMaskInto(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("mask[%d] = %v, want %v", i, got[i], want[i])
 		}
+	}
+}
+
+// chainNetwork builds a path of n+1 nodes joined by n single-segment
+// cables — enough distinct at-risk sets to exercise the contraction LRU.
+func chainNetwork(n int) *Network {
+	net := &Network{Name: "chain"}
+	for i := 0; i <= n; i++ {
+		net.Nodes = append(net.Nodes, Node{Name: "n" + string(rune('a'+i))})
+	}
+	for i := 0; i < n; i++ {
+		net.Cables = append(net.Cables, Cable{
+			Name:        "c" + string(rune('a'+i)),
+			Segments:    []Segment{{A: i, B: i + 1, LengthKm: 1000}},
+			KnownLength: true,
+		})
+	}
+	return net
+}
+
+// TestContractionCacheLRU pins the cache's replacement policy and its
+// counters: hits refresh recency (an entry touched after filling the cache
+// survives later insertions that evict genuinely colder entries), eviction
+// removes the least recently used set, and the hit/miss counters account
+// for every call.
+func TestContractionCacheLRU(t *testing.T) {
+	const cables = 12
+	net := chainNetwork(cables)
+	atRisk := func(i int) graph.Bitset {
+		b := graph.NewBitset(cables)
+		b.Set(i)
+		return b
+	}
+
+	// Fill the cache with 8 distinct at-risk sets: all misses.
+	first := net.CoreContraction(atRisk(0))
+	for i := 1; i < 8; i++ {
+		net.CoreContraction(atRisk(i))
+	}
+	if hits, misses := net.ContractionCacheStats(); hits != 0 || misses != 8 {
+		t.Fatalf("after fill: hits=%d misses=%d, want 0/8", hits, misses)
+	}
+
+	// Touch the oldest entry: a hit that must also refresh its recency.
+	if got := net.CoreContraction(atRisk(0)); got != first {
+		t.Fatal("cache hit returned a different contraction than the original build")
+	}
+	if hits, _ := net.ContractionCacheStats(); hits != 1 {
+		t.Fatalf("hits = %d after touching a cached set, want 1", hits)
+	}
+
+	// Two fresh sets evict the two least recently used entries. Under LRU
+	// those are sets 1 and 2 — set 0 was refreshed above and must survive.
+	// (FIFO would have evicted set 0 first; this is the policy change.)
+	net.CoreContraction(atRisk(8))
+	net.CoreContraction(atRisk(9))
+	if got := net.CoreContraction(atRisk(0)); got != first {
+		t.Fatal("recently used set was evicted: replacement policy is not LRU")
+	}
+	if hits, misses := net.ContractionCacheStats(); hits != 2 || misses != 10 {
+		t.Fatalf("after survival check: hits=%d misses=%d, want 2/10", hits, misses)
+	}
+
+	// Set 1 was the LRU at eviction time, so it must have been dropped:
+	// requesting it again is a miss (a rebuild).
+	net.CoreContraction(atRisk(1))
+	if hits, misses := net.ContractionCacheStats(); hits != 2 || misses != 11 {
+		t.Fatalf("after evicted-set refetch: hits=%d misses=%d, want 2/11", hits, misses)
 	}
 }

@@ -60,8 +60,8 @@ func TestReplayProvesWorkerIndependence(t *testing.T) {
 		cfg.Trials = 2
 	}
 	results := Replay(context.Background(), testWorld(t), cfg)
-	if len(results) != 6 {
-		t.Fatalf("replay check count = %d, want 6", len(results))
+	if len(results) != 7 {
+		t.Fatalf("replay check count = %d, want 7", len(results))
 	}
 	for _, r := range results {
 		if !r.Passed {

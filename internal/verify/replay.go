@@ -43,6 +43,7 @@ func Replay(ctx context.Context, w *dataset.World, cfg experiments.Config) []Res
 		replayFig8(ctx, w, cfg),
 		replayPinned(ctx, w),
 		replayEstimator(ctx, w, cfg),
+		replayServed(ctx, w),
 	}
 }
 
