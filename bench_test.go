@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"gicnet/internal/core"
+	"gicnet/internal/crosslayer"
 	"gicnet/internal/dataset"
 	"gicnet/internal/experiments"
 	"gicnet/internal/failure"
@@ -729,4 +730,48 @@ func BenchmarkPairConnectivity(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCrosslayerTrialLoop measures cross-layer scoring — dead cables
+// to severed AS pairs and stranded users — of pre-sampled trial blocks on
+// the real submarine network and router catalog, in scalar and bitsliced
+// 64-trial block form, at p=0.001 (the sweep's low-p end, same regime the
+// sparse-sampler bench pins: a handful of whole-cable deaths per trial,
+// where the block path replaces the per-trial union-find with one
+// spanning-forest sweep; at high p nearly every edge dies per block and
+// the two paths converge). Both paths must report 0 allocs/op, and
+// `make bench-check` gates batched at ≥2× over scalar.
+func BenchmarkCrosslayerTrialLoop(b *testing.B) {
+	w := benchWorld(b)
+	idx, err := crosslayer.Compile(w.Submarine, w.Routers, routing.DefaultDemands())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := failure.Compile(w.Submarine, failure.Uniform{P: 0.001}, 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var batch failure.BatchScratch
+	batch.Grow(plan)
+	var s crosslayer.Scratch
+	s.Grow(idx)
+	scores := make([]crosslayer.Score, failure.MaxBatch)
+	root := xrand.New(dataset.DefaultSeed)
+	plan.SampleBatch(&batch, root, 0, failure.MaxBatch)
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = idx.ScoreDead(batch.Row(i%failure.MaxBatch), &s)
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for t0 := 0; t0 < b.N; t0 += failure.MaxBatch {
+			n := b.N - t0
+			if n > failure.MaxBatch {
+				n = failure.MaxBatch
+			}
+			idx.ScoreBatch(&batch, n, scores[:n], &s)
+		}
+	})
 }

@@ -133,7 +133,16 @@ func main() {
 	if !*check || *out != "" {
 		path := *out
 		if path == "" {
+			// Never clobber an earlier (possibly committed) snapshot
+			// from the same day — suffix b, c, ... like the checked-in
+			// history does.
 			path = "BENCH_" + snap.Date + ".json"
+			for suffix := 'b'; suffix <= 'z'; suffix++ {
+				if _, err := os.Stat(path); os.IsNotExist(err) {
+					break
+				}
+				path = "BENCH_" + snap.Date + string(suffix) + ".json"
+			}
 		}
 		data, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
@@ -197,6 +206,11 @@ var speedupGates = []struct {
 	// at least 2x at the paper's high-probability sweep points (p >= 0.1),
 	// where the per-trial incidence walk used to dominate.
 	{"BenchmarkTrialLoopHighP/evaluate-batched", "BenchmarkTrialLoopHighP/evaluate-scalar", 2},
+	// The cross-layer block-scoring claim (DESIGN.md "Cross-layer impact
+	// scoring"): at the sweep's low-probability points the forest-sweep
+	// block scorer beats the scalar union-find reference by at least 2x
+	// per trial.
+	{"BenchmarkCrosslayerTrialLoop/batched", "BenchmarkCrosslayerTrialLoop/scalar", 2},
 }
 
 // metricGates are statistical-efficiency claims proved from custom

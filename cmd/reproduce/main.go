@@ -28,7 +28,7 @@ func main() {
 	trials := flag.Int("trials", 10, "Monte Carlo trials per point (paper: 10)")
 	seed := flag.Uint64("seed", dataset.DefaultSeed, "simulation seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-	only := flag.String("only", "", "comma-separated experiment ids (fig3,fig4a,fig4b,fig5,fig67,fig8,fig9,country,systems,ext-traffic,ext-recovery,ext-resilience,ext-grid,ext-solar,ext-scenario,ext-tail); empty = all")
+	only := flag.String("only", "", "comma-separated experiment ids (fig3,fig4a,fig4b,fig5,fig67,fig8,fig9,country,systems,ext-traffic,ext-recovery,ext-resilience,ext-grid,ext-solar,ext-scenario,ext-tail,crosslayer); empty = all")
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -190,6 +190,13 @@ func main() {
 	})
 	run("ext-tail", func() error {
 		r, err := experiments.ExtTail(ctx, world, cfg)
+		if err != nil {
+			return err
+		}
+		return r.Render(w)
+	})
+	run("crosslayer", func() error {
+		r, err := experiments.CrossLayer(ctx, world, cfg)
 		if err != nil {
 			return err
 		}

@@ -18,12 +18,15 @@ import (
 	"strings"
 
 	"gicnet/internal/core"
+	"gicnet/internal/crosslayer"
 	"gicnet/internal/dataset"
 	"gicnet/internal/experiments"
 	"gicnet/internal/failure"
 	"gicnet/internal/partition"
 	"gicnet/internal/rare"
 	"gicnet/internal/report"
+	"gicnet/internal/routing"
+	"gicnet/internal/sim"
 )
 
 func main() {
@@ -43,6 +46,7 @@ func main() {
 	spofs := flag.Int("spof-cables", 0, "list this many single-point-of-failure cables (longest first)")
 	tail := flag.Bool("tail", false, "rare-event tail sweep: P(>=tail-threshold cables dead) down to p=1e-6, importance-sampled QMC vs plain MC")
 	tailThreshold := flag.Int("tail-threshold", 2, "tail event: at least this many cables dead")
+	crossLayerFlag := flag.Bool("crosslayer", false, "cross-layer impact of the chosen model: severed AS pairs and stranded users")
 	flag.Parse()
 
 	world, err := dataset.Default()
@@ -161,6 +165,46 @@ func main() {
 				fmt.Sprintf("%.0f", iq.ESS),
 			)
 		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *crossLayerFlag {
+		did = true
+		idx, err := crosslayer.Compile(world.Submarine, world.Routers, routing.DefaultDemands())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cc := sim.Config{
+			Model:      model,
+			SpacingKm:  *spacing,
+			Trials:     *trials,
+			Seed:       *seed,
+			CrossLayer: idx,
+		}
+		res, err := sim.Run(ctx, world.Submarine, cc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		intact := idx.Intact()
+		var pairs, stranded, weighted float64
+		for i := range res.Cross {
+			pairs += float64(res.Cross[i].ReachablePairs)
+			stranded += res.Cross[i].StrandedShare
+			weighted += res.Cross[i].DemandWeighted
+		}
+		n := float64(len(res.Cross))
+		t := report.NewTable(
+			fmt.Sprintf("cross-layer impact under %s (%.0f km spacing, %d trials)", model.Name(), *spacing, *trials),
+			"metric", "value")
+		t.AddRow("ASes attached", fmt.Sprintf("%d across %d sites", idx.TotalASes(), idx.Sites()))
+		t.AddRow("intact AS pairs", fmt.Sprintf("%d", intact.ReachablePairs))
+		if intact.ReachablePairs > 0 {
+			t.AddRow("mean reachable AS pairs", fmt.Sprintf("%.1f%%", 100*pairs/n/float64(intact.ReachablePairs)))
+		}
+		t.AddRow("mean stranded users", fmt.Sprintf("%.1f%%", 100*stranded/n))
+		t.AddRow("mean demand-weighted", fmt.Sprintf("%.1f%%", 100*weighted/n))
 		if err := t.Render(os.Stdout); err != nil {
 			log.Fatal(err)
 		}

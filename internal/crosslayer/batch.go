@@ -1,0 +1,295 @@
+package crosslayer
+
+import (
+	"gicnet/internal/failure"
+	"gicnet/internal/graph"
+)
+
+// Batched scoring over a 64-trial bitsliced block, mirroring the
+// column-major strategy of failure.EvaluateBatch. The scalar path pays a
+// full union-find over every node and pair-edge per trial; the block path
+// amortises that: it transposes the block's dead masks into per-cable
+// trial columns, finds the pair-edges that die anywhere in the block,
+// builds the block-intact component structure once, and spans the touched
+// subgraph with a forest so that each trial's partition falls out of one
+// parents-first sweep instead of a fresh union-find.
+//
+// Equivalence: a pair-edge is dead in trial b iff the AND of its
+// supporting cables' columns has bit b set, which is exactly the
+// ScoreDead word-mask test for row b. Edges untouched in the whole block
+// are alive in every trial and fold into the block-intact structure; per
+// trial the touched edges are re-added when alive — tree edges by
+// inheritance in the preorder sweep, cycle-closing extras by a small
+// union over component ids. The resulting site partition is therefore
+// identical to the scalar path's for every trial, and scoreFromRoots
+// reduces equal partitions to bit-identical Scores.
+
+// ScoreBatch scores the first n rows of a sampled trial block into
+// out[:n], producing exactly ScoreDead(batch.Row(b), s) for each b. The
+// batch must have been grown for the plan of the same network the index
+// was compiled for, and s for this index.
+//
+//gicnet:hotpath
+func (x *Index) ScoreBatch(batch *failure.BatchScratch, n int, out []Score, s *Scratch) {
+	if n <= 0 {
+		return
+	}
+	words := x.words
+	var tmp [64]uint64
+	for wi := 0; wi < words; wi++ {
+		for b := 0; b < n; b++ {
+			tmp[b] = batch.Row(b)[wi]
+		}
+		for b := n; b < failure.MaxBatch; b++ {
+			tmp[b] = 0 // absent trials kill no cables
+		}
+		graph.Transpose64(&tmp)
+		copy(s.cols[wi<<6:(wi+1)<<6], tmp[:])
+	}
+
+	// Touched pair-edges: those with at least one supporting cable dead
+	// somewhere in the block, whose dead column (AND over supporting
+	// cables' columns) is nonzero. Edge e's dead column bit b set means
+	// edge e severed in trial b.
+	eg := s.nextEdgeGen()
+	nt := 0
+	numCables := len(x.cableEdgeStart) - 1
+	for c := 0; c < numCables; c++ {
+		if s.cols[c] == 0 {
+			continue
+		}
+		for k := x.cableEdgeStart[c]; k < x.cableEdgeStart[c+1]; k++ {
+			e := x.cableEdges[k]
+			if s.edgeSeen[e] == eg {
+				continue
+			}
+			s.edgeSeen[e] = eg
+			col := ^uint64(0)
+			for q := x.cableStart[e]; q < x.cableStart[e+1] && col != 0; q++ {
+				col &= s.cols[x.cableList[q]]
+			}
+			if col != 0 {
+				s.edgeDead[e] = eg
+				s.touched[nt] = e
+				s.touchedCol[nt] = col
+				nt++
+			}
+		}
+	}
+
+	// Block-intact components: every edge alive throughout the block.
+	s.uf.Reset(x.numNodes)
+	for e := 0; e < len(x.edgeA); e++ {
+		if s.edgeDead[e] != eg {
+			s.uf.Union(int(x.edgeA[e]), int(x.edgeB[e]))
+		}
+	}
+
+	// Compact labels over the roots that matter: sites, the anchor, and
+	// touched edge endpoints.
+	ng := s.nextNodeGen()
+	s.nLabels = 0
+	for si := 0; si < len(x.sites); si++ {
+		s.siteLabel[si] = s.labelOf(x.sites[si], ng)
+	}
+	anchorLabel := s.labelOf(x.anchor, ng)
+	// Drop touched edges whose endpoints share a block-intact label: such
+	// an edge is parallel to an always-alive connection, so its death can
+	// never split the partition, in any trial. What survives is the set of
+	// edges that can actually matter; deadMask collects the trials where
+	// at least one of them dies.
+	eff := 0
+	deadMask := uint64(0)
+	for ti := 0; ti < nt; ti++ {
+		e := s.touched[ti]
+		a := s.labelOf(x.edgeA[e], ng)
+		bl := s.labelOf(x.edgeB[e], ng)
+		if a == bl {
+			continue
+		}
+		s.touchedA[eff] = a
+		s.touchedB[eff] = bl
+		s.touchedCol[eff] = s.touchedCol[ti]
+		deadMask |= s.touchedCol[ti]
+		eff++
+	}
+	nt = eff
+	labels := int(s.nLabels)
+
+	// Spanning forest of the all-alive touched graph over the compact
+	// labels. The pair-edge graph is almost a tree (nearly every edge is
+	// a bridge), so per trial the partition is "cut the forest at this
+	// trial's dead tree edges" — one preorder sweep, no per-trial
+	// union-find. The few cycle-closing extras are patched back with a
+	// small union over component ids. The block-intact structure in s.uf
+	// has served its purpose (the labels above are its compaction), so it
+	// builds the forest here.
+	s.uf.Reset(labels)
+	ne := 0
+	for ti := 0; ti < nt; ti++ {
+		if s.uf.Union(int(s.touchedA[ti]), int(s.touchedB[ti])) {
+			s.treeFlag[ti] = true
+		} else {
+			s.treeFlag[ti] = false
+			s.extra[ne] = int32(ti)
+			ne++
+		}
+	}
+	// Adjacency CSR over tree edges, then a stack DFS assigning each
+	// label its forest parent and the touched index of the edge to it,
+	// in an order where parents precede children.
+	for l := 0; l <= labels; l++ {
+		s.adjStart[l] = 0
+	}
+	for ti := 0; ti < nt; ti++ {
+		if s.treeFlag[ti] {
+			s.adjStart[s.touchedA[ti]]++
+			s.adjStart[s.touchedB[ti]]++
+		}
+	}
+	sum := int32(0)
+	for l := 0; l < labels; l++ {
+		deg := s.adjStart[l]
+		s.adjStart[l] = sum
+		sum += deg
+	}
+	s.adjStart[labels] = sum
+	for ti := 0; ti < nt; ti++ {
+		if s.treeFlag[ti] {
+			a, bl := s.touchedA[ti], s.touchedB[ti]
+			s.adjList[s.adjStart[a]] = bl
+			s.adjEdge[s.adjStart[a]] = int32(ti)
+			s.adjStart[a]++
+			s.adjList[s.adjStart[bl]] = a
+			s.adjEdge[s.adjStart[bl]] = int32(ti)
+			s.adjStart[bl]++
+		}
+	}
+	for l := labels; l > 0; l-- {
+		s.adjStart[l] = s.adjStart[l-1]
+	}
+	s.adjStart[0] = 0
+	for l := 0; l < labels; l++ {
+		s.parentEdge[l] = -2 // unvisited
+	}
+	np := 0
+	for r := 0; r < labels; r++ {
+		if s.parentEdge[r] != -2 {
+			continue
+		}
+		s.parentEdge[r] = -1 // forest root
+		s.parentLab[r] = -1
+		top := 0
+		s.stack[top] = int32(r)
+		top++
+		for top > 0 {
+			top--
+			v := s.stack[top]
+			s.order[np] = v
+			np++
+			for k := s.adjStart[v]; k < s.adjStart[v+1]; k++ {
+				w := s.adjList[k]
+				if s.parentEdge[w] != -2 {
+					continue
+				}
+				s.parentEdge[w] = s.adjEdge[k]
+				s.parentLab[w] = v
+				s.stack[top] = w
+				top++
+			}
+		}
+	}
+
+	// Per trial: walk the forest parents-first — a label starts a new
+	// component iff it has no alive parent edge this trial — then re-join
+	// components across alive cycle-closing extras and resolve each
+	// component's root once. Equal partitions hand scoreFromRoots
+	// identical groupings, so the Scores match the scalar path's bit for
+	// bit; trials killing no partition-relevant edge keep the intact
+	// partition, whose canonical accumulation is the intact score bit for
+	// bit (the same property the empty-mask fuzz case pins).
+	for b := 0; b < n; b++ {
+		bit := uint64(1) << uint(b)
+		if deadMask&bit == 0 {
+			out[b] = x.intact
+			continue
+		}
+		nComp := int32(0)
+		for i := 0; i < labels; i++ {
+			l := s.order[i]
+			pe := s.parentEdge[l]
+			if pe >= 0 && s.touchedCol[pe]&bit == 0 {
+				s.comp[l] = s.comp[s.parentLab[l]]
+			} else {
+				s.comp[l] = nComp
+				nComp++
+			}
+		}
+		if ne == 0 {
+			for si := 0; si < len(x.sites); si++ {
+				s.siteRoot[si] = s.comp[s.siteLabel[si]]
+			}
+			out[b] = x.scoreFromRoots(s, s.comp[anchorLabel])
+			continue
+		}
+		s.mini.Reset(int(nComp))
+		for k := 0; k < ne; k++ {
+			ti := s.extra[k]
+			if s.touchedCol[ti]&bit == 0 {
+				s.mini.Union(int(s.comp[s.touchedA[ti]]), int(s.comp[s.touchedB[ti]]))
+			}
+		}
+		for c := int32(0); c < nComp; c++ {
+			s.labelRoot[c] = int32(s.mini.Find(int(c)))
+		}
+		for si := 0; si < len(x.sites); si++ {
+			s.siteRoot[si] = s.labelRoot[s.comp[s.siteLabel[si]]]
+		}
+		out[b] = x.scoreFromRoots(s, s.labelRoot[s.comp[anchorLabel]])
+	}
+}
+
+// labelOf compacts a node's block-intact component root to a dense label,
+// first-seen order under the current generation stamp.
+//
+//gicnet:hotpath
+func (s *Scratch) labelOf(node int32, gen uint32) int32 {
+	r := s.uf.Find(int(node))
+	if s.nodeGen[r] != gen {
+		s.nodeGen[r] = gen
+		s.nodeLabel[r] = s.nLabels
+		s.nLabels++
+	}
+	return s.nodeLabel[r]
+}
+
+// nextEdgeGen advances the shared edge stamp, clearing on wraparound.
+//
+//gicnet:hotpath
+func (s *Scratch) nextEdgeGen() uint32 {
+	s.edgeCtr++
+	if s.edgeCtr == 0 {
+		for i := range s.edgeSeen {
+			s.edgeSeen[i] = 0
+		}
+		for i := range s.edgeDead {
+			s.edgeDead[i] = 0
+		}
+		s.edgeCtr = 1
+	}
+	return s.edgeCtr
+}
+
+// nextNodeGen advances the label stamp, clearing on wraparound.
+//
+//gicnet:hotpath
+func (s *Scratch) nextNodeGen() uint32 {
+	s.nodeCtr++
+	if s.nodeCtr == 0 {
+		for i := range s.nodeGen {
+			s.nodeGen[i] = 0
+		}
+		s.nodeCtr = 1
+	}
+	return s.nodeCtr
+}

@@ -1,0 +1,223 @@
+package crosslayer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"gicnet/internal/dataset"
+	"gicnet/internal/failure"
+	"gicnet/internal/geo"
+	"gicnet/internal/graph"
+	"gicnet/internal/routing"
+	"gicnet/internal/topology"
+	"gicnet/internal/xrand"
+)
+
+// lineWorld builds a 5-node path network: n0-n1-n2-n3-n4, one cable per
+// hop, with ASes at both ends and the middle.
+func lineWorld(t *testing.T) (*topology.Network, *dataset.RouterCatalog) {
+	t.Helper()
+	net := &topology.Network{Name: "line"}
+	coords := []geo.Coord{
+		{Lat: 40, Lon: -74}, {Lat: 45, Lon: -30}, {Lat: 50, Lon: 0},
+		{Lat: 48, Lon: 20}, {Lat: 35, Lon: 100},
+	}
+	for i, c := range coords {
+		net.Nodes = append(net.Nodes, topology.Node{
+			Name: fmt.Sprintf("n%d", i), Coord: c, HasCoord: true, Country: "xx",
+		})
+	}
+	for i := 0; i < 4; i++ {
+		net.Cables = append(net.Cables, topology.Cable{
+			Name:        fmt.Sprintf("c%d", i),
+			Segments:    []topology.Segment{{A: i, B: i + 1, LengthKm: 1000}},
+			KnownLength: true,
+		})
+	}
+	cat := &dataset.RouterCatalog{ASes: []dataset.AS{
+		{ASN: 1, Home: geo.Coord{Lat: 40.1, Lon: -74.2}, Routers: []geo.Coord{{Lat: 40.1, Lon: -74.2}}},
+		{ASN: 2, Home: geo.Coord{Lat: 40.2, Lon: -73.9}, Routers: []geo.Coord{{Lat: 40.2, Lon: -73.9}}},
+		{ASN: 3, Home: geo.Coord{Lat: 49.9, Lon: 0.3}, Routers: []geo.Coord{{Lat: 49.9, Lon: 0.3}}},
+		{ASN: 4, Home: geo.Coord{Lat: 35.3, Lon: 99.5}, Routers: []geo.Coord{{Lat: 35.3, Lon: 99.5}}},
+	}}
+	return net, cat
+}
+
+func compileLine(t *testing.T) *Index {
+	t.Helper()
+	net, cat := lineWorld(t)
+	x, err := Compile(net, cat, routing.DefaultDemands())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return x
+}
+
+func TestNumRegionsMatchesGeo(t *testing.T) {
+	if got := len(geo.Regions()); got != NumRegions {
+		t.Fatalf("NumRegions = %d, geo.Regions() has %d", NumRegions, got)
+	}
+}
+
+func TestIntactScore(t *testing.T) {
+	x := compileLine(t)
+	in := x.Intact()
+	// 4 ASes all connected: C(4,2) pairs, nothing stranded.
+	if in.ReachablePairs != 6 {
+		t.Fatalf("intact pairs = %d, want 6", in.ReachablePairs)
+	}
+	if in.StrandedASes != 0 || in.StrandedShare != 0 || in.DemandWeighted != 0 {
+		t.Fatalf("intact strands something: %+v", in)
+	}
+	for _, v := range in.RegionStranded {
+		if v != 0 {
+			t.Fatalf("intact region stranded: %+v", in.RegionStranded)
+		}
+	}
+	if x.TotalASes() != 4 || x.Sites() != 3 {
+		t.Fatalf("totals: ASes=%d sites=%d, want 4 and 3", x.TotalASes(), x.Sites())
+	}
+}
+
+func TestCutScores(t *testing.T) {
+	x := compileLine(t)
+	var s Scratch
+	s.Grow(x)
+	dead := graph.NewBitset(4)
+
+	// Kill cable 3 (n3-n4): AS 4 (on n4) is cut from the anchor side.
+	dead.Set(3)
+	sc := x.ScoreDead(dead, &s)
+	// Components: {n0,n1,n2,n3} with 3 ASes, {n4} with 1 -> C(3,2)=3 pairs.
+	if sc.ReachablePairs != 3 {
+		t.Fatalf("pairs after cut = %d, want 3", sc.ReachablePairs)
+	}
+	if sc.StrandedASes != 1 {
+		t.Fatalf("stranded ASes = %d, want 1", sc.StrandedASes)
+	}
+	if sc.StrandedShare <= 0 || sc.StrandedShare >= 1 {
+		t.Fatalf("stranded share = %v, want in (0,1)", sc.StrandedShare)
+	}
+
+	// Kill everything: every site is its own island; pairs only within
+	// sites (ASes 1,2 share the n0 site).
+	dead.SetRange(0, 4)
+	sc = x.ScoreDead(dead, &s)
+	if sc.ReachablePairs != 1 {
+		t.Fatalf("pairs all-dead = %d, want 1", sc.ReachablePairs)
+	}
+	// The anchor site (n0, two ASes) keeps its own users; the rest strand.
+	if sc.StrandedASes != 2 {
+		t.Fatalf("stranded ASes all-dead = %d, want 2", sc.StrandedASes)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	net, cat := lineWorld(t)
+	if _, err := Compile(net, nil, routing.DefaultDemands()); !errors.Is(err, ErrNoASes) {
+		t.Fatalf("nil catalog: err = %v, want ErrNoASes", err)
+	}
+	if _, err := Compile(net, &dataset.RouterCatalog{}, routing.DefaultDemands()); !errors.Is(err, ErrNoASes) {
+		t.Fatalf("empty catalog: err = %v, want ErrNoASes", err)
+	}
+	if _, err := Compile(net, cat, nil); !errors.Is(err, routing.ErrZeroDemand) {
+		t.Fatalf("nil demands: err = %v, want routing.ErrZeroDemand", err)
+	}
+	if _, err := Compile(net, cat, []routing.Demand{{From: geo.RegionEurope, To: geo.RegionAsia, Volume: 0}}); !errors.Is(err, routing.ErrZeroDemand) {
+		t.Fatalf("zero demands: err = %v, want routing.ErrZeroDemand", err)
+	}
+
+	// Coordinate-free network (the ITU shape): no attach sites.
+	bare := &topology.Network{
+		Name:  "bare",
+		Nodes: []topology.Node{{Name: "a"}, {Name: "b"}},
+		Cables: []topology.Cable{{
+			Name: "c", Segments: []topology.Segment{{A: 0, B: 1, LengthKm: 1}}, KnownLength: true,
+		}},
+	}
+	if _, err := Compile(bare, cat, routing.DefaultDemands()); !errors.Is(err, ErrNoSites) {
+		t.Fatalf("coordinate-free: err = %v, want ErrNoSites", err)
+	}
+}
+
+func TestDemandWeightsSumToOne(t *testing.T) {
+	shares, err := routing.RegionShares(routing.DefaultDemands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, r := range geo.Regions() {
+		sum += shares[r]
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("region shares sum to %v, want 1", sum)
+	}
+}
+
+// TestScoringAllocFree is the 0 allocs/op contract on both scoring paths.
+func TestScoringAllocFree(t *testing.T) {
+	x := compileLine(t)
+	plan, err := failure.Compile(x.Network(), failure.Uniform{P: 0.3}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Scratch
+	s.Grow(x)
+	var batch failure.BatchScratch
+	batch.Grow(plan)
+	root := xrand.New(7)
+	plan.SampleBatch(&batch, root, 0, failure.MaxBatch)
+	var out [failure.MaxBatch]Score
+
+	// Warm union-find growth before measuring.
+	x.ScoreDead(batch.Row(0), &s)
+	x.ScoreBatch(&batch, failure.MaxBatch, out[:], &s)
+
+	if n := testing.AllocsPerRun(100, func() {
+		x.ScoreDead(batch.Row(1), &s)
+	}); n != 0 {
+		t.Fatalf("ScoreDead allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		x.ScoreBatch(&batch, failure.MaxBatch, out[:], &s)
+	}); n != 0 {
+		t.Fatalf("ScoreBatch allocates %v per op, want 0", n)
+	}
+}
+
+// TestConcurrentScoring exercises a shared Index from several goroutines
+// (each with its own Scratch) for the race detector.
+func TestConcurrentScoring(t *testing.T) {
+	x := compileLine(t)
+	plan, err := failure.Compile(x.Network(), failure.Uniform{P: 0.25}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	done := make(chan int64, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			var s Scratch
+			s.Grow(x)
+			var batch failure.BatchScratch
+			batch.Grow(plan)
+			root := xrand.New(99)
+			plan.SampleBatch(&batch, root, 0, failure.MaxBatch)
+			var out [failure.MaxBatch]Score
+			x.ScoreBatch(&batch, failure.MaxBatch, out[:], &s)
+			sum := int64(0)
+			for b := range out {
+				sum += out[b].ReachablePairs + 1000*out[b].StrandedASes
+			}
+			done <- sum
+		}()
+	}
+	first := <-done
+	for w := 1; w < workers; w++ {
+		if got := <-done; got != first {
+			t.Fatalf("worker checksum %d != %d", got, first)
+		}
+	}
+}

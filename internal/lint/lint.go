@@ -84,6 +84,7 @@ func DefaultConfig() Config {
 			"gicnet/internal/topology",
 			"gicnet/internal/dataset",
 			"gicnet/internal/xrand",
+			"gicnet/internal/crosslayer",
 		},
 		HotpathAllowCalls: []string{
 			"math",      // pure float kernels: Log, Log1p, Ldexp, ...

@@ -27,6 +27,35 @@ type Demand struct {
 	Volume   float64
 }
 
+// ErrZeroDemand is returned when a demand matrix carries no positive
+// volume. Every share in this package is a fraction of total demand, so an
+// all-zero (or empty) matrix has no well-defined shares; callers get this
+// typed error instead of NaN.
+var ErrZeroDemand = errors.New("routing: demand matrix has no positive volume")
+
+// RegionShares returns each region's share of total outbound demand
+// volume, normalised to sum to 1 over the regions that appear. Demands
+// with non-positive volume contribute nothing; if no demand has positive
+// volume the shares would be 0/0, so it returns ErrZeroDemand instead.
+func RegionShares(demands []Demand) (map[geo.Region]float64, error) {
+	total := 0.0
+	out := map[geo.Region]float64{}
+	for _, d := range demands {
+		if d.Volume <= 0 {
+			continue
+		}
+		total += d.Volume
+		out[d.From] += d.Volume
+	}
+	if total <= 0 {
+		return nil, ErrZeroDemand
+	}
+	for r := range out {
+		out[r] /= total
+	}
+	return out, nil
+}
+
 // DefaultDemands synthesises a demand matrix over the inhabited regions,
 // weighted by rough traffic shares (North America and Europe dominate
 // inter-regional volume; intra-region traffic does not cross the

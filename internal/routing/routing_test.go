@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -221,5 +222,45 @@ func TestRouteSyntheticTriangle(t *testing.T) {
 	}
 	if len(shifts) != 2 {
 		t.Errorf("shifts = %v", shifts)
+	}
+}
+
+// TestRegionSharesZeroDemand is the regression for the zero-demand edge:
+// a demand matrix with no positive volume must yield the typed
+// ErrZeroDemand instead of NaN shares.
+func TestRegionSharesZeroDemand(t *testing.T) {
+	for _, demands := range [][]Demand{
+		nil,
+		{},
+		{{From: geo.RegionEurope, To: geo.RegionAsia, Volume: 0}},
+		{{From: geo.RegionEurope, To: geo.RegionAsia, Volume: -3}},
+	} {
+		shares, err := RegionShares(demands)
+		if !errors.Is(err, ErrZeroDemand) {
+			t.Fatalf("demands %v: err = %v, want ErrZeroDemand", demands, err)
+		}
+		if shares != nil {
+			t.Fatalf("demands %v: got shares %v alongside the error", demands, shares)
+		}
+	}
+}
+
+// TestRegionSharesNormalized checks the happy path: shares sum to one,
+// every share is finite and positive, and negative/zero rows are ignored.
+func TestRegionSharesNormalized(t *testing.T) {
+	demands := append(DefaultDemands(), Demand{From: geo.RegionOceania, To: geo.RegionAsia, Volume: -1})
+	shares, err := RegionShares(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for r, s := range shares {
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("region %s share %v not a positive finite number", r, s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("shares sum to %v, want 1", sum)
 	}
 }

@@ -5,14 +5,15 @@ package serve
 // equal resultKeys have byte-identical answers, which is what licenses
 // the result tier and the singleflight join.
 type resultKey struct {
-	worldSeed uint64
-	network   string
-	model     string
-	p         float64
-	spacingKm float64
-	trials    int
-	seed      uint64
-	estimator string
+	worldSeed  uint64
+	network    string
+	model      string
+	p          float64
+	spacingKm  float64
+	trials     int
+	seed       uint64
+	estimator  string
+	crossLayer bool
 }
 
 // planKey identifies one compiled failure plan: the scenario family plus
@@ -30,13 +31,14 @@ type planKey struct {
 // family, spacing, trial budget, seed and estimator — whose sweep points
 // (p) can run back-to-back on one executor's arena as a shared sweep.
 type batchKey struct {
-	worldSeed uint64
-	network   string
-	model     string
-	spacingKm float64
-	trials    int
-	seed      uint64
-	estimator string
+	worldSeed  uint64
+	network    string
+	model      string
+	spacingKm  float64
+	trials     int
+	seed       uint64
+	estimator  string
+	crossLayer bool
 	// uniq is zero when batching is on; a unique nonzero salt otherwise,
 	// which degrades every batch to a single request.
 	uniq uint64
@@ -49,13 +51,14 @@ type batchKey struct {
 //gicnet:hotpath
 func (k resultKey) batchKey() batchKey {
 	return batchKey{
-		worldSeed: k.worldSeed,
-		network:   k.network,
-		model:     k.model,
-		spacingKm: k.spacingKm,
-		trials:    k.trials,
-		seed:      k.seed,
-		estimator: k.estimator,
+		worldSeed:  k.worldSeed,
+		network:    k.network,
+		model:      k.model,
+		spacingKm:  k.spacingKm,
+		trials:     k.trials,
+		seed:       k.seed,
+		estimator:  k.estimator,
+		crossLayer: k.crossLayer,
 	}
 }
 

@@ -21,8 +21,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gicnet/internal/crosslayer"
 	"gicnet/internal/dataset"
 	"gicnet/internal/rare"
+	"gicnet/internal/routing"
 	"gicnet/internal/sim"
 	"gicnet/internal/topology"
 )
@@ -67,6 +69,10 @@ type Request struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Estimator is "" (plain Monte Carlo), "is", "is-qmc" or "qmc".
 	Estimator string `json:"estimator,omitempty"`
+	// CrossLayer additionally scores every trial through the cable->AS
+	// adjacency: severed AS pairs and stranded users. Only networks with
+	// located attach sites accept it (the ITU map has none).
+	CrossLayer bool `json:"cross_layer,omitempty"`
 }
 
 // Response is the answer to one Request, scalar summaries plus the
@@ -94,6 +100,12 @@ type Response struct {
 	WeightedNodeFrac  float64 `json:"weighted_node_frac"`
 	// ESS is the effective sample size (Trials on the plain path).
 	ESS float64 `json:"ess"`
+	// CrossReachableFrac, CrossStrandedShare and CrossDemandWeighted are
+	// the mean cross-layer aggregates over the trials; present only when
+	// the request set CrossLayer.
+	CrossReachableFrac  float64 `json:"cross_reachable_frac,omitempty"`
+	CrossStrandedShare  float64 `json:"cross_stranded_share,omitempty"`
+	CrossDemandWeighted float64 `json:"cross_demand_weighted,omitempty"`
 	// Provenance is "computed", "cache" or "dedup".
 	Provenance string `json:"provenance"`
 	// BatchSize counts the requests coalesced into the sweep batch that
@@ -143,10 +155,24 @@ type Config struct {
 }
 
 // netEntry is one pinned network with its serving-time immutables
-// prewarmed: structural fingerprint, adjacency, incidence bitsets.
+// prewarmed: structural fingerprint, adjacency, incidence bitsets. The
+// cross-layer index is lazy: compiled once on the first scored request
+// against this network, never per request.
 type netEntry struct {
 	net         *topology.Network
 	fingerprint uint64
+	crossOK     bool // network has located attach sites and the world has ASes
+	crossOnce   sync.Once
+	cross       *crosslayer.Index
+	crossErr    error
+}
+
+// crossIndex compiles (once) and returns the cable->AS index.
+func (ne *netEntry) crossIndex(cat *dataset.RouterCatalog) (*crosslayer.Index, error) {
+	ne.crossOnce.Do(func() {
+		ne.cross, ne.crossErr = crosslayer.Compile(ne.net, cat, routing.DefaultDemands())
+	})
+	return ne.cross, ne.crossErr
 }
 
 // worldEntry is one pinned world and its three networks keyed by
@@ -268,11 +294,34 @@ func (srv *Server) pinWorld(w *dataset.World) error {
 		pair.net.Graph()
 		pair.net.IncidenceBits()
 		pair.net.CableIncidence()
-		we.nets[pair.name] = &netEntry{net: pair.net, fingerprint: pair.net.Fingerprint()}
+		we.nets[pair.name] = &netEntry{
+			net:         pair.net,
+			fingerprint: pair.net.Fingerprint(),
+			crossOK:     w.Routers != nil && len(w.Routers.ASes) > 0 && hasAttachSite(pair.net),
+		}
 	}
 	srv.worlds[w.Seed] = we
 	srv.worldSeeds = append(srv.worldSeeds, w.Seed)
 	return nil
+}
+
+// hasAttachSite reports whether a network has at least one cable-touching
+// node with a coordinate — the precondition for cross-layer scoring,
+// checked at pin time so normalize can reject without compiling.
+func hasAttachSite(net *topology.Network) bool {
+	touched := make([]bool, len(net.Nodes))
+	for _, c := range net.Cables {
+		for _, seg := range c.Segments {
+			touched[seg.A] = true
+			touched[seg.B] = true
+		}
+	}
+	for i, n := range net.Nodes {
+		if touched[i] && n.HasCoord {
+			return true
+		}
+	}
+	return false
 }
 
 // WorldSeeds returns the pinned fleet's seeds in pin order.
@@ -296,8 +345,12 @@ func (srv *Server) normalize(req Request) (Request, resultKey, error) {
 	if req.Network == "" {
 		req.Network = "submarine"
 	}
-	if _, ok := we.nets[req.Network]; !ok {
+	ne, ok := we.nets[req.Network]
+	if !ok {
 		return req, key, fmt.Errorf("serve: unknown network %q (want submarine, intertubes or itu)", req.Network)
+	}
+	if req.CrossLayer && !ne.crossOK {
+		return req, key, fmt.Errorf("serve: network %q has no located attach sites; cross-layer scoring unavailable", req.Network)
 	}
 	if req.Model == "" {
 		req.Model = "uniform"
@@ -331,14 +384,15 @@ func (srv *Server) normalize(req Request) (Request, resultKey, error) {
 		}
 	}
 	key = resultKey{
-		worldSeed: req.WorldSeed,
-		network:   req.Network,
-		model:     req.Model,
-		p:         req.P,
-		spacingKm: req.SpacingKm,
-		trials:    req.Trials,
-		seed:      req.Seed,
-		estimator: req.Estimator,
+		worldSeed:  req.WorldSeed,
+		network:    req.Network,
+		model:      req.Model,
+		p:          req.P,
+		spacingKm:  req.SpacingKm,
+		trials:     req.Trials,
+		seed:       req.Seed,
+		estimator:  req.Estimator,
+		crossLayer: req.CrossLayer,
 	}
 	return req, key, nil
 }

@@ -6,9 +6,11 @@ import (
 	"testing"
 	"time"
 
+	"gicnet/internal/crosslayer"
 	"gicnet/internal/dataset"
 	"gicnet/internal/failure"
 	"gicnet/internal/rare"
+	"gicnet/internal/routing"
 	"gicnet/internal/serve"
 	"gicnet/internal/sim"
 )
@@ -474,5 +476,75 @@ func TestBaselineMatchesFull(t *testing.T) {
 	}
 	if b2.Provenance != serve.ProvComputed {
 		t.Fatalf("baseline replay provenance %q, want computed", b2.Provenance)
+	}
+}
+
+// TestServedCrossLayer pins the cross-layer serving path: a scored request
+// matches its offline equivalent bit for bit, carries distinct cache
+// identity from the plain request, survives the result tier, and is
+// rejected on the coordinate-free ITU network.
+func TestServedCrossLayer(t *testing.T) {
+	srv := newServer(t, serve.Config{Shards: 2, WorkersPerShard: 2})
+	w := testWorld(t)
+	ctx := context.Background()
+
+	req := serve.Request{Network: "submarine", Model: "s1", SpacingKm: 150, Trials: 64, Seed: 11, CrossLayer: true}
+	resp, err := srv.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := crosslayer.Compile(w.Submarine, w.Routers, routing.DefaultDemands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := sim.Run(ctx, w.Submarine, sim.Config{
+		Model: failure.S1(), SpacingKm: 150, Trials: 64, Seed: 11, Workers: 1, CrossLayer: idx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Fingerprint != off.Fingerprint() {
+		t.Fatalf("served fingerprint %016x != offline scored run %016x", resp.Fingerprint, off.Fingerprint())
+	}
+	if resp.CrossStrandedShare < 0 || resp.CrossStrandedShare > 1 {
+		t.Fatalf("served stranded share %v outside [0, 1]", resp.CrossStrandedShare)
+	}
+	if resp.CrossReachableFrac <= 0 || resp.CrossReachableFrac > 1 {
+		t.Fatalf("served reachable frac %v outside (0, 1]", resp.CrossReachableFrac)
+	}
+
+	// The plain request is a different cache identity with its own
+	// fingerprint and no cross fields.
+	plain := req
+	plain.CrossLayer = false
+	presp, err := srv.Do(ctx, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.Provenance != serve.ProvComputed {
+		t.Fatalf("plain variant served as %q; must not share the scored cache entry", presp.Provenance)
+	}
+	if presp.Fingerprint == resp.Fingerprint {
+		t.Fatal("plain and scored runs share a fingerprint")
+	}
+	if presp.CrossReachableFrac != 0 || presp.CrossStrandedShare != 0 || presp.CrossDemandWeighted != 0 {
+		t.Fatalf("plain response carries cross fields: %+v", presp)
+	}
+
+	// Cache round trip preserves the scored answer.
+	again, err := srv.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Provenance != serve.ProvCache {
+		t.Fatalf("second scored serve provenance %q, want cache", again.Provenance)
+	}
+	if again.Fingerprint != resp.Fingerprint || again.CrossStrandedShare != resp.CrossStrandedShare {
+		t.Fatalf("cached scored response diverged: %+v vs %+v", again, resp)
+	}
+
+	// The ITU map exposes no coordinates: scoring must be rejected.
+	if _, err := srv.Do(ctx, serve.Request{Network: "itu", Trials: 16, CrossLayer: true}); err == nil {
+		t.Fatal("ITU cross-layer request must be rejected")
 	}
 }

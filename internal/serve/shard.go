@@ -110,7 +110,8 @@ func (s *shard) execBatch(calls []*call, arena *sim.Arena) {
 // cancels it, never an individual caller.
 func (s *shard) compute(req Request, key resultKey, arena *sim.Arena) (*Response, error) {
 	srv := s.srv
-	ne := srv.worlds[key.worldSeed].nets[key.network]
+	we := srv.worlds[key.worldSeed]
+	ne := we.nets[key.network]
 	plan, err := s.planFor(key, ne)
 	if err != nil {
 		return nil, err
@@ -123,6 +124,11 @@ func (s *shard) compute(req Request, key resultKey, arena *sim.Arena) (*Response
 		Workers:   srv.cfg.SimWorkers,
 		Estimator: srv.ests[key.estimator], // nil on the plain path
 	}
+	if key.crossLayer {
+		if cfg.CrossLayer, err = ne.crossIndex(we.world.Routers); err != nil {
+			return nil, err
+		}
+	}
 	res, err := arena.RunPlan(srv.rootCtx, plan, cfg)
 	if err != nil {
 		return nil, err
@@ -134,7 +140,8 @@ func (s *shard) compute(req Request, key resultKey, arena *sim.Arena) (*Response
 // fresh per-request estimator, on the caller's goroutine and context.
 func (s *shard) computeBaseline(ctx context.Context, req Request, key resultKey) (*Response, error) {
 	srv := s.srv
-	ne := srv.worlds[key.worldSeed].nets[key.network]
+	we := srv.worlds[key.worldSeed]
+	ne := we.nets[key.network]
 	cfg := sim.Config{
 		Model:     modelFor(key),
 		SpacingKm: key.spacingKm,
@@ -142,6 +149,12 @@ func (s *shard) computeBaseline(ctx context.Context, req Request, key resultKey)
 		Seed:      key.seed,
 		Workers:   srv.cfg.SimWorkers,
 		Estimator: freshEstimator(key.estimator),
+	}
+	if key.crossLayer {
+		var err error
+		if cfg.CrossLayer, err = ne.crossIndex(we.world.Routers); err != nil {
+			return nil, err
+		}
 	}
 	res, err := sim.Run(ctx, ne.net, cfg)
 	if err != nil {
@@ -250,7 +263,7 @@ func freshEstimator(name string) sim.Estimator {
 // run result. It must copy everything it needs: on the arena path, res
 // is arena-owned storage recycled by the batch's next call.
 func buildResponse(req Request, ne *netEntry, res *sim.Result, shardID int) *Response {
-	return &Response{
+	resp := &Response{
 		Request:           req,
 		WorldFingerprint:  ne.fingerprint,
 		Fingerprint:       res.Fingerprint(),
@@ -264,4 +277,20 @@ func buildResponse(req Request, ne *netEntry, res *sim.Result, shardID int) *Res
 		Provenance:        ProvComputed,
 		Shard:             shardID,
 	}
+	if len(res.Cross) > 0 && ne.cross != nil {
+		intactPairs := float64(ne.cross.Intact().ReachablePairs)
+		var pairs, stranded, weighted float64
+		for i := range res.Cross {
+			pairs += float64(res.Cross[i].ReachablePairs)
+			stranded += res.Cross[i].StrandedShare
+			weighted += res.Cross[i].DemandWeighted
+		}
+		n := float64(len(res.Cross))
+		if intactPairs > 0 {
+			resp.CrossReachableFrac = pairs / n / intactPairs
+		}
+		resp.CrossStrandedShare = stranded / n
+		resp.CrossDemandWeighted = weighted / n
+	}
+	return resp
 }

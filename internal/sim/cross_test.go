@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"gicnet/internal/crosslayer"
+	"gicnet/internal/dataset"
+	"gicnet/internal/failure"
+	"gicnet/internal/geo"
+	"gicnet/internal/routing"
+)
+
+func testCrossIndex(t *testing.T) *crosslayer.Index {
+	t.Helper()
+	net := testNet()
+	cat := &dataset.RouterCatalog{ASes: []dataset.AS{
+		{ASN: 1, Home: geo.Coord{Lat: 64, Lon: 1}, Routers: []geo.Coord{{Lat: 64, Lon: 1}}},
+		{ASN: 2, Home: geo.Coord{Lat: 51, Lon: 9}, Routers: []geo.Coord{{Lat: 51, Lon: 9}}},
+		{ASN: 3, Home: geo.Coord{Lat: 29, Lon: 21}, Routers: []geo.Coord{{Lat: 29, Lon: 21}}},
+		{ASN: 4, Home: geo.Coord{Lat: 11, Lon: 29}, Routers: []geo.Coord{{Lat: 11, Lon: 29}}},
+	}}
+	x, err := crosslayer.Compile(net, cat, routing.DefaultDemands())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return x
+}
+
+// TestCrossLayerFingerprintAcrossWorkers pins that cross-layer scoring
+// keeps the engine's determinism contract: identical fingerprints at
+// workers 1 and 4, scores filled for every trial, and a different
+// fingerprint than the same run without the metric (its own identity).
+func TestCrossLayerFingerprintAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	x := testCrossIndex(t)
+	cfg := Config{Model: failure.Uniform{P: 0.3}, SpacingKm: 150, Trials: 200, Seed: 42, CrossLayer: x}
+
+	cfg.Workers = 1
+	r1, err := Run(ctx, x.Network(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	r4, err := Run(ctx, x.Network(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Cross) != cfg.Trials || len(r4.Cross) != cfg.Trials {
+		t.Fatalf("Cross lengths %d/%d, want %d", len(r1.Cross), len(r4.Cross), cfg.Trials)
+	}
+	if f1, f4 := r1.Fingerprint(), r4.Fingerprint(); f1 != f4 {
+		t.Fatalf("fingerprints differ across workers: %x != %x", f1, f4)
+	}
+	for i := range r1.Cross {
+		a, b := r1.Cross[i], r4.Cross[i]
+		if a.ReachablePairs != b.ReachablePairs ||
+			math.Float64bits(a.StrandedShare) != math.Float64bits(b.StrandedShare) {
+			t.Fatalf("trial %d scores differ across workers: %+v vs %+v", i, a, b)
+		}
+	}
+
+	plain := cfg
+	plain.CrossLayer = nil
+	plain.Workers = 1
+	rp, err := Run(ctx, x.Network(), plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Cross != nil {
+		t.Fatal("plain run filled Cross")
+	}
+	if rp.Fingerprint() == r1.Fingerprint() {
+		t.Fatal("cross-layer run shares the plain fingerprint; wants its own identity")
+	}
+	// The physical outcomes themselves are untouched by the extra metric.
+	for i := range rp.Outcomes {
+		if rp.Outcomes[i] != r1.Outcomes[i] {
+			t.Fatalf("trial %d physical outcome changed: %+v vs %+v", i, rp.Outcomes[i], r1.Outcomes[i])
+		}
+	}
+}
+
+// TestCrossLayerNetworkMismatch rejects an index compiled for another
+// network.
+func TestCrossLayerNetworkMismatch(t *testing.T) {
+	ctx := context.Background()
+	x := testCrossIndex(t)
+	other := testNet() // distinct pointer: not the index's network
+	cfg := Config{Model: failure.Uniform{P: 0.3}, SpacingKm: 150, Trials: 8, Seed: 1, CrossLayer: x}
+	if _, err := Run(ctx, other, cfg); err == nil {
+		t.Fatal("mismatched index must error")
+	}
+}
+
+// TestCrossLayerSweep checks sweeps carry the metric through every point.
+func TestCrossLayerSweep(t *testing.T) {
+	ctx := context.Background()
+	x := testCrossIndex(t)
+	cfg := Config{SpacingKm: 150, Trials: 70, Seed: 9, Workers: 2, CrossLayer: x}
+	pts, err := SweepUniform(ctx, x.Network(), cfg, []float64{0.01, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if len(pt.Result.Cross) != cfg.Trials {
+			t.Fatalf("p=%g: Cross length %d, want %d", pt.P, len(pt.Result.Cross), cfg.Trials)
+		}
+	}
+	// At p=1 every repeatered cable dies; stranding must be at least the
+	// p=0.01 level on every aggregate.
+	last := pts[len(pts)-1].Result.Cross
+	first := pts[0].Result.Cross
+	if last[0].ReachablePairs > first[0].ReachablePairs {
+		t.Fatalf("more reachable pairs at p=1 (%d) than p=0.01 (%d)",
+			last[0].ReachablePairs, first[0].ReachablePairs)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gicnet/internal/crosslayer"
 	"gicnet/internal/failure"
 	"gicnet/internal/graph"
 	"gicnet/internal/stats"
@@ -54,6 +55,12 @@ type Config struct {
 	// see internal/rare). nil leaves the engine on the historical path,
 	// bit-identical to every recorded golden and replay fingerprint.
 	Estimator Estimator
+	// CrossLayer, when non-nil, scores every trial's dead-cable set at
+	// the logical layer too (reachable AS pairs, stranded users — see
+	// internal/crosslayer), filling Result.Cross alongside the physical
+	// outcomes. The index must be compiled for the run's network. nil
+	// leaves the engine on the historical path.
+	CrossLayer *crosslayer.Index
 }
 
 // Estimator draws trial realisations in place of the plain Monte Carlo
@@ -110,6 +117,9 @@ type Result struct {
 	// Estimator names the estimator that drew the trials ("" = plain
 	// Monte Carlo).
 	Estimator string
+	// Cross holds the per-trial cross-layer scores, in trial order, when
+	// the run carried a crosslayer.Index; nil otherwise.
+	Cross []crosslayer.Score
 }
 
 // Weight returns trial i's likelihood ratio (1 on the plain path).
@@ -196,6 +206,22 @@ func (r *Result) Fingerprint() uint64 {
 			word(math.Float64bits(lw))
 		}
 	}
+	// Cross-layer runs pin every per-trial score under their own section,
+	// giving the metric its own fingerprint identity; runs without it hash
+	// the historical bytes exactly.
+	if r.Cross != nil {
+		fmt.Fprintf(h, "|cross|")
+		for i := range r.Cross {
+			c := &r.Cross[i]
+			word(uint64(c.ReachablePairs))
+			word(uint64(c.StrandedASes))
+			word(math.Float64bits(c.StrandedShare))
+			for _, v := range c.RegionStranded {
+				word(math.Float64bits(v))
+			}
+			word(math.Float64bits(c.DemandWeighted))
+		}
+	}
 	return h.Sum64()
 }
 
@@ -225,7 +251,11 @@ func RunPlan(ctx context.Context, plan *failure.Plan, cfg Config) (*Result, erro
 	}
 	res := &Result{}
 	outcomes := make([]failure.Outcome, cfg.Trials)
-	if err := runPlanInto(ctx, plan, cfg, res, outcomes, nil); err != nil {
+	var cross []crosslayer.Score
+	if cfg.CrossLayer != nil {
+		cross = make([]crosslayer.Score, cfg.Trials)
+	}
+	if err := runPlanInto(ctx, plan, cfg, res, outcomes, nil, cross, nil); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -233,13 +263,19 @@ func RunPlan(ctx context.Context, plan *failure.Plan, cfg Config) (*Result, erro
 
 // runPlanInto is the trial engine writing into caller-owned memory: res is
 // overwritten, outcomes (length cfg.Trials) backs res.Outcomes, and batch —
-// when non-nil — is the serial path's trial-block scratch. Trials run in
+// when non-nil — is the serial path's trial-block scratch. When
+// cfg.CrossLayer is set, cross (length cfg.Trials) backs res.Cross and cs —
+// when non-nil — is the serial path's cross-layer scratch. Trials run in
 // blocks of failure.MaxBatch, but trial ti's RNG is still split from the
 // seed by ti alone, so the result is identical for every worker count and
 // bit-identical to the historical one-trial-at-a-time loop.
-func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Result, outcomes []failure.Outcome, batch *failure.BatchScratch) error {
+func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Result, outcomes []failure.Outcome, batch *failure.BatchScratch, cross []crosslayer.Score, cs *crosslayer.Scratch) error {
 	if cfg.Trials <= 0 {
 		return errors.New("sim: trials must be positive")
+	}
+	idx := cfg.CrossLayer
+	if idx != nil && idx.Network() != plan.Network() {
+		return errors.New("sim: cross-layer index compiled for a different network")
 	}
 	blocks := (cfg.Trials + failure.MaxBatch - 1) / failure.MaxBatch
 	workers := cfg.Workers
@@ -271,6 +307,13 @@ func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Resul
 			batch = &local
 		}
 		batch.Grow(plan)
+		if idx != nil {
+			var localCS crosslayer.Scratch
+			if cs == nil {
+				cs = &localCS
+			}
+			cs.Grow(idx)
+		}
 		for t0 := 0; t0 < cfg.Trials; t0 += failure.MaxBatch {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -285,6 +328,9 @@ func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Resul
 				plan.SampleBatch(batch, &root, uint64(t0), n)
 			}
 			plan.EvaluateBatch(batch, n, outcomes[t0:t0+n])
+			if idx != nil {
+				idx.ScoreBatch(batch, n, cross[t0:t0+n], cs)
+			}
 		}
 	} else {
 		// Workers claim block indices from an atomic counter; each owns a
@@ -298,6 +344,10 @@ func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Resul
 				defer wg.Done()
 				var scratch failure.BatchScratch
 				scratch.Grow(plan)
+				var crossScratch crosslayer.Scratch
+				if idx != nil {
+					crossScratch.Grow(idx)
+				}
 				for {
 					bi := int(next.Add(1)) - 1
 					if bi >= blocks || ctx.Err() != nil {
@@ -314,6 +364,9 @@ func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Resul
 						plan.SampleBatch(&scratch, root, uint64(t0), n)
 					}
 					plan.EvaluateBatch(&scratch, n, outcomes[t0:t0+n])
+					if idx != nil {
+						idx.ScoreBatch(&scratch, n, cross[t0:t0+n], &crossScratch)
+					}
 				}
 			}()
 		}
@@ -329,6 +382,9 @@ func runPlanInto(ctx context.Context, plan *failure.Plan, cfg Config, res *Resul
 		SpacingKm:  plan.SpacingKm(),
 		Outcomes:   outcomes,
 		LogWeights: logw,
+	}
+	if idx != nil {
+		res.Cross = cross
 	}
 	if est != nil {
 		res.Estimator = est.EstimatorName()
@@ -348,6 +404,8 @@ type Arena struct {
 	plan     failure.Plan
 	batch    failure.BatchScratch
 	outcomes []failure.Outcome
+	cross    []crosslayer.Score
+	crossScr crosslayer.Scratch
 	res      Result
 	uniforms map[float64]failure.Model // memoized boxed sweep models
 
@@ -387,10 +445,22 @@ func (a *Arena) RunModel(ctx context.Context, net *topology.Network, cfg Config)
 	if cap(a.outcomes) < cfg.Trials {
 		a.outcomes = make([]failure.Outcome, cfg.Trials)
 	}
-	if err := a.runInto(ctx, net, cfg, &a.res, a.outcomes[:cfg.Trials]); err != nil {
+	if err := a.runInto(ctx, net, cfg, &a.res, a.outcomes[:cfg.Trials], a.crossBuf(cfg)); err != nil {
 		return nil, err
 	}
 	return &a.res, nil
+}
+
+// crossBuf returns the arena's cross-layer score buffer sized for cfg, or
+// nil when the run carries no index.
+func (a *Arena) crossBuf(cfg Config) []crosslayer.Score {
+	if cfg.CrossLayer == nil {
+		return nil
+	}
+	if cap(a.cross) < cfg.Trials {
+		a.cross = make([]crosslayer.Score, cfg.Trials)
+	}
+	return a.cross[:cfg.Trials]
 }
 
 // RunPlan runs cfg's trials against a shared, already-compiled plan using
@@ -411,19 +481,19 @@ func (a *Arena) RunPlan(ctx context.Context, plan *failure.Plan, cfg Config) (*R
 	if cap(a.outcomes) < cfg.Trials {
 		a.outcomes = make([]failure.Outcome, cfg.Trials)
 	}
-	if err := runPlanInto(ctx, plan, cfg, &a.res, a.outcomes[:cfg.Trials], &a.batch); err != nil {
+	if err := runPlanInto(ctx, plan, cfg, &a.res, a.outcomes[:cfg.Trials], &a.batch, a.crossBuf(cfg), &a.crossScr); err != nil {
 		return nil, err
 	}
 	return &a.res, nil
 }
 
 // runInto compiles into the arena's plan and runs cfg, writing the result
-// into caller-owned res/outcomes storage.
-func (a *Arena) runInto(ctx context.Context, net *topology.Network, cfg Config, res *Result, outcomes []failure.Outcome) error {
+// into caller-owned res/outcomes/cross storage.
+func (a *Arena) runInto(ctx context.Context, net *topology.Network, cfg Config, res *Result, outcomes []failure.Outcome, cross []crosslayer.Score) error {
 	if err := failure.CompileInto(&a.plan, net, cfg.Model, cfg.SpacingKm); err != nil {
 		return err
 	}
-	return runPlanInto(ctx, &a.plan, cfg, res, outcomes, &a.batch)
+	return runPlanInto(ctx, &a.plan, cfg, res, outcomes, &a.batch, cross, &a.crossScr)
 }
 
 // ForEach runs fn(0), ..., fn(n-1) across at most workers goroutines
@@ -617,6 +687,10 @@ func sweepUniform(ctx context.Context, net *topology.Network, cfg Config, ps []f
 	inner, rem := budget/pointWorkers, budget%pointWorkers
 	results := make([]Result, len(ps))
 	backing := make([]failure.Outcome, len(ps)*cfg.Trials)
+	var crossBacking []crosslayer.Score
+	if cfg.CrossLayer != nil {
+		crossBacking = make([]crosslayer.Score, len(ps)*cfg.Trials)
+	}
 	arenas := make([]*Arena, pointWorkers)
 	if ext != nil {
 		arenas[0] = ext
@@ -639,8 +713,12 @@ func sweepUniform(ctx context.Context, net *topology.Network, cfg Config, ps []f
 			c.Workers = 1
 		}
 		outcomes := backing[i*cfg.Trials : (i+1)*cfg.Trials : (i+1)*cfg.Trials]
+		var cross []crosslayer.Score
+		if crossBacking != nil {
+			cross = crossBacking[i*cfg.Trials : (i+1)*cfg.Trials : (i+1)*cfg.Trials]
+		}
 		a.acquire()
-		err := a.runInto(ctx, net, c, &results[i], outcomes)
+		err := a.runInto(ctx, net, c, &results[i], outcomes, cross)
 		a.release()
 		if err != nil {
 			return fmt.Errorf("sweep p=%g: %w", ps[i], err)

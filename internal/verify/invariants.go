@@ -59,6 +59,9 @@ func Invariants(w *dataset.World, seed uint64) []Result {
 		checkPlanMatchesDirectPath(w, seed),
 		checkSamplerEquivalence(w, seed),
 		checkContractedDirectParity(w, seed),
+		checkCrosslayerMonotone(w, seed),
+		checkCrosslayerStrandedBounds(w, seed),
+		checkCrosslayerBatchParity(w, seed),
 	}
 }
 

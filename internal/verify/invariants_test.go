@@ -10,8 +10,8 @@ import (
 
 func TestInvariantsHoldOnDefaultWorld(t *testing.T) {
 	results := Invariants(testWorld(t), dataset.DefaultSeed)
-	if len(results) != 10 {
-		t.Fatalf("invariant count = %d, want 10", len(results))
+	if len(results) != 13 {
+		t.Fatalf("invariant count = %d, want 13", len(results))
 	}
 	for _, r := range results {
 		if !r.Passed {
@@ -60,8 +60,8 @@ func TestReplayProvesWorkerIndependence(t *testing.T) {
 		cfg.Trials = 2
 	}
 	results := Replay(context.Background(), testWorld(t), cfg)
-	if len(results) != 7 {
-		t.Fatalf("replay check count = %d, want 7", len(results))
+	if len(results) != 8 {
+		t.Fatalf("replay check count = %d, want 8", len(results))
 	}
 	for _, r := range results {
 		if !r.Passed {

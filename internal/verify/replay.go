@@ -44,6 +44,7 @@ func Replay(ctx context.Context, w *dataset.World, cfg experiments.Config) []Res
 		replayPinned(ctx, w),
 		replayEstimator(ctx, w, cfg),
 		replayServed(ctx, w),
+		replayCrosslayer(ctx, w, cfg),
 	}
 }
 

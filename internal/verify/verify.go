@@ -62,6 +62,10 @@ type Snapshot struct {
 	// the §4.3.4 analysis.
 	Country map[string][]CountrySummary `json:"country"`
 	Systems []SystemSummary             `json:"systems"`
+
+	// Crosslayer is the cable->AS cross-layer impact sweep: severed AS
+	// pairs and stranded users per failure level.
+	Crosslayer *experiments.CrossLayerResult `json:"crosslayer"`
 }
 
 // LengthQuantiles are the golden quantiles of one cable-length CDF.
@@ -174,6 +178,10 @@ func Capture(ctx context.Context, w *dataset.World, cfg experiments.Config) (*Sn
 			}
 			s.Country[state] = append(s.Country[state], cs)
 		}
+	}
+
+	if s.Crosslayer, err = experiments.CrossLayer(ctx, w, cfg); err != nil {
+		return nil, fmt.Errorf("verify: crosslayer: %w", err)
 	}
 
 	systems, err := experiments.Systems(w)
