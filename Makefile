@@ -23,11 +23,16 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# Repo-native static analysis: cmd/gicnetlint runs the determinism, hotpath,
-# floatcmp, and errcheck analyzers over every package in the module. Use
-# `go run ./cmd/gicnetlint -json` for machine-readable diagnostics.
+# Repo-native static analysis: cmd/gicnetlint runs the determinism,
+# crossdet, concheck, purecheck, hotpath, floatcmp, and errcheck analyzers
+# over every package in the module — twice, because the purego build swaps
+# the assembly kernel dispatch files for pure-Go variants that must satisfy
+# the same contracts. Use `go run ./cmd/gicnetlint -json` for
+# machine-readable diagnostics, and `-changed` to lint only the packages
+# that differ from the lint-baseline.json snapshot while iterating.
 lint:
 	$(GO) run ./cmd/gicnetlint -root .
+	$(GO) run ./cmd/gicnetlint -root . -tags purego
 
 # The simulation engine and failure plans run concurrently (worker pools,
 # parallel sweeps, shared sync.Once topology caches), and partition and
@@ -78,6 +83,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCoreContraction$$' -fuzztime $(FUZZTIME) ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzBitsetKernels$$' -fuzztime $(FUZZTIME) ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzCableASAdjacency$$' -fuzztime $(FUZZTIME) ./internal/crosslayer
+	$(GO) test -run '^$$' -fuzz '^FuzzAnnotationComments$$' -fuzztime $(FUZZTIME) ./internal/lint
 
 # Quick hot-path benchmarks with allocation counts.
 bench:

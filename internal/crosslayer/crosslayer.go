@@ -482,6 +482,7 @@ func (s *Scratch) Grow(x *Index) {
 // nextRemapGen advances the remap stamp, clearing on wraparound.
 //
 //gicnet:hotpath
+//gicnet:pure allow=write:s
 func (s *Scratch) nextRemapGen() uint32 {
 	s.remapCtr++
 	if s.remapCtr == 0 {
@@ -497,6 +498,7 @@ func (s *Scratch) nextRemapGen() uint32 {
 // supporting cable's bit is set in every covering word.
 //
 //gicnet:hotpath
+//gicnet:pure
 func (x *Index) edgeDeadAt(e int, dead graph.Bitset) bool {
 	for k := x.wordStart[e]; k < x.wordStart[e+1]; k++ {
 		if dead[x.wordIdx[k]]&x.wordMask[k] != x.wordMask[k] {
@@ -511,6 +513,7 @@ func (x *Index) edgeDeadAt(e int, dead graph.Bitset) bool {
 // the scalar reference path; ScoreBatch computes bit-identical Scores.
 //
 //gicnet:hotpath
+//gicnet:pure allow=write:s
 func (x *Index) ScoreDead(dead graph.Bitset, s *Scratch) Score {
 	s.uf.Reset(x.numNodes)
 	for e := 0; e < len(x.edgeA); e++ {
@@ -531,6 +534,7 @@ func (x *Index) ScoreDead(dead graph.Bitset, s *Scratch) Score {
 // fixed order, so equal partitions yield bit-identical Scores.
 //
 //gicnet:hotpath
+//gicnet:pure allow=write:s
 func (x *Index) scoreFromRoots(s *Scratch, anchorRoot int32) Score {
 	gen := s.nextRemapGen()
 	nSlots := int32(0)

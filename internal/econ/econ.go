@@ -118,6 +118,7 @@ func FromScenario(regionLoss map[geo.Region]float64, restore90Days float64) (*Es
 	}
 	var outages []Outage
 	for r, loss := range regionLoss {
+		//gicnet:allow crossdet outages are sorted by their unique Region key immediately after this loop, so map order cannot leak
 		outages = append(outages, Outage{Region: r, LossFrac: loss, RestoreDays: restore90Days})
 	}
 	sort.Slice(outages, func(i, j int) bool { return outages[i].Region < outages[j].Region })

@@ -326,12 +326,18 @@ func (p *Plan) buildSampler() {
 }
 
 // Network returns the network the plan was compiled for.
+//
+//gicnet:pure
 func (p *Plan) Network() *topology.Network { return p.net }
 
 // ModelName returns the compiled model's report name.
+//
+//gicnet:pure
 func (p *Plan) ModelName() string { return p.modelName }
 
 // SpacingKm returns the compiled inter-repeater spacing.
+//
+//gicnet:pure
 func (p *Plan) SpacingKm() float64 { return p.spacingKm }
 
 // NumCables returns the cable count the plan's bitsets are sized for.

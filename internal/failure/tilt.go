@@ -149,6 +149,7 @@ func (t *TiltedSampler) SampleBatch(s *BatchScratch, root *xrand.Source, t0 uint
 // set); LogWeight itself accepts any bitset and prices the set bits.
 //
 //gicnet:hotpath
+//gicnet:pure
 func (t *TiltedSampler) LogWeight(dead graph.Bitset) float64 {
 	lw := t.baseLog
 	adj := t.adj

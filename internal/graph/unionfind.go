@@ -19,6 +19,7 @@ func NewUnionFind(n int) *UnionFind {
 // state run repeated component queries without allocating.
 //
 //gicnet:hotpath allow=make
+//gicnet:pure allow=write:u
 func (u *UnionFind) Reset(n int) {
 	if cap(u.parent) >= n {
 		u.parent = u.parent[:n]
@@ -39,6 +40,7 @@ func (u *UnionFind) Reset(n int) {
 // Find returns the representative of x's set.
 //
 //gicnet:hotpath
+//gicnet:pure allow=write:u
 func (u *UnionFind) Find(x int) int {
 	for u.parent[x] != x {
 		u.parent[x] = u.parent[u.parent[x]] // path halving
@@ -50,6 +52,7 @@ func (u *UnionFind) Find(x int) int {
 // Union merges the sets of a and b, returning true if they were distinct.
 //
 //gicnet:hotpath
+//gicnet:pure allow=write:u
 func (u *UnionFind) Union(a, b int) bool {
 	ra, rb := u.Find(a), u.Find(b)
 	if ra == rb {

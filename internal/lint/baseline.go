@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is a per-package snapshot of source-file content hashes:
+// import path → file base name → FNV-1a 64 hash (hex). cmd/gicnetlint's
+// -changed mode diffs a fresh snapshot against a stored baseline and lints
+// only the packages that differ (plus their dependencies for
+// typechecking), so iterating on one package does not re-typecheck the
+// module. Hashes cover every non-test .go file regardless of build tags —
+// a change to any variant of a package invalidates it under every
+// configuration.
+type Baseline map[string]map[string]string
+
+// SnapshotModule hashes every non-test .go file of every package under
+// root, with the same directory-skipping rules as LoadModule.
+func SnapshotModule(root string) (Baseline, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	snap := Baseline{}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") {
+			return nil
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		rel, rerr := filepath.Rel(root, filepath.Dir(path))
+		if rerr != nil {
+			return rerr
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		h := fnv.New64a()
+		h.Write(data)
+		if snap[importPath] == nil {
+			snap[importPath] = map[string]string{}
+		}
+		snap[importPath][name] = fmt.Sprintf("%016x", h.Sum64())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// ChangedPackages returns the import paths whose file-hash maps differ
+// between the stored baseline and the current snapshot — changed files,
+// new files, deleted files, new packages, and deleted packages all count
+// (a deleted package is reported so stale diagnostics don't hide; the
+// loader simply won't find it).
+func ChangedPackages(stored, current Baseline) []string {
+	changed := map[string]bool{}
+	for path, files := range current {
+		old, ok := stored[path]
+		if !ok || !sameFiles(old, files) {
+			changed[path] = true
+		}
+	}
+	for path := range stored {
+		if _, ok := current[path]; !ok {
+			changed[path] = true
+		}
+	}
+	out := make([]string, 0, len(changed))
+	for path := range changed {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameFiles(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for name, hash := range a {
+		if b[name] != hash {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteBaseline writes a snapshot as stable, diff-friendly JSON.
+func WriteBaseline(path string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a snapshot written by WriteBaseline.
+func ReadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return b, nil
+}

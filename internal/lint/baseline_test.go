@@ -1,0 +1,122 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gicnet/internal/lint"
+)
+
+// writeTinyModule lays out a three-package module for baseline and
+// partial-load tests: b imports a, c is independent.
+func writeTinyModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/tiny\n\ngo 1.21\n",
+		"a/a.go": "package a\n\nfunc A() int { return 1 }\n",
+		"b/b.go": "package b\n\nimport \"example.com/tiny/a\"\n\nfunc B() int { return a.A() + 1 }\n",
+		"c/c.go": "package c\n\nfunc C() int { return 3 }\n",
+	}
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestBaselineDiff(t *testing.T) {
+	root := writeTinyModule(t)
+	before, err := lint.SnapshotModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 3 {
+		t.Fatalf("snapshot has %d packages, want 3: %v", len(before), before)
+	}
+
+	// Unchanged tree: no diff.
+	again, err := lint.SnapshotModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := lint.ChangedPackages(before, again); len(diff) != 0 {
+		t.Fatalf("unchanged module reports changes: %v", diff)
+	}
+
+	// Edit one file, add a package, delete a package: all three show up.
+	if err := os.WriteFile(filepath.Join(root, "b/b.go"),
+		[]byte("package b\n\nimport \"example.com/tiny/a\"\n\nfunc B() int { return a.A() + 2 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "d"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "d/d.go"), []byte("package d\n\nfunc D() int { return 4 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(root, "c")); err != nil {
+		t.Fatal(err)
+	}
+	after, err := lint.SnapshotModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := lint.ChangedPackages(before, after)
+	want := []string{"example.com/tiny/b", "example.com/tiny/c", "example.com/tiny/d"}
+	if len(diff) != len(want) {
+		t.Fatalf("diff = %v, want %v", diff, want)
+	}
+	for i := range want {
+		if diff[i] != want[i] {
+			t.Fatalf("diff = %v, want %v", diff, want)
+		}
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := writeTinyModule(t)
+	snap, err := lint.SnapshotModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "lint-baseline.json")
+	if err := lint.WriteBaseline(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := lint.ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := lint.ChangedPackages(snap, loaded); len(diff) != 0 {
+		t.Fatalf("round-tripped baseline differs: %v", diff)
+	}
+}
+
+// TestLoadOnlySubset proves the -changed load keeps a changed package's
+// dependencies (typechecking needs them) while dropping unrelated packages.
+func TestLoadOnlySubset(t *testing.T) {
+	root := writeTinyModule(t)
+	prog, err := lint.LoadModuleOpts(root, lint.LoadOptions{
+		Only: map[string]bool{"example.com/tiny/b": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := map[string]bool{}
+	for _, pkg := range prog.Pkgs {
+		loaded[pkg.Path] = true
+	}
+	if !loaded["example.com/tiny/b"] || !loaded["example.com/tiny/a"] {
+		t.Fatalf("subset load missing b or its dependency a: %v", loaded)
+	}
+	if loaded["example.com/tiny/c"] {
+		t.Fatalf("subset load pulled in unrelated package c: %v", loaded)
+	}
+}

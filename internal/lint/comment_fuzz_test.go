@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAnnotationComments hammers the three annotation-comment parsers with
+// arbitrary comment text. The parsers gate suppression and contract
+// enforcement, so a crash or a malformed accept (whitespace inside a
+// parsed analyzer name, a marker matched without its word boundary) would
+// silently change what the linter enforces.
+func FuzzAnnotationComments(f *testing.F) {
+	seeds := []string{
+		"//gicnet:allow crossdet keys are sorted before use",
+		"//gicnet:allow floatcmp,errcheck exact tie-break",
+		"//gicnet:allow",
+		"//gicnet:allowx not a marker",
+		"//gicnet:hotpath",
+		"//gicnet:hotpath allow=make,append",
+		"//gicnet:pure",
+		"//gicnet:pure allow=write:s,write:dst",
+		"//gicnet:purex not a marker",
+		"// plain comment",
+		"//gicnet:pure\tallow=write:u",
+		"//gicnet:allow \t ",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		if analyzers, ok := parseAllowComment(text); ok {
+			if !strings.HasPrefix(text, AllowPrefix) {
+				t.Errorf("parseAllowComment accepted %q without the marker prefix", text)
+			}
+			if len(analyzers) == 0 {
+				t.Errorf("parseAllowComment(%q) ok with empty analyzer list", text)
+			}
+			for _, a := range analyzers {
+				if strings.ContainsAny(a, " \t\n,") {
+					t.Errorf("parseAllowComment(%q) analyzer %q contains separators", text, a)
+				}
+			}
+		}
+		if allow, ok := parseHotpathComment(text); ok {
+			if !strings.HasPrefix(text, HotpathMarker) {
+				t.Errorf("parseHotpathComment accepted %q without the marker prefix", text)
+			}
+			for k := range allow {
+				if strings.ContainsAny(k, " \t\n,") {
+					t.Errorf("parseHotpathComment(%q) kind %q contains separators", text, k)
+				}
+			}
+		}
+		if allow, ok := parsePureComment(text); ok {
+			rest := strings.TrimPrefix(text, PureMarker)
+			if rest == text {
+				t.Errorf("parsePureComment accepted %q without the marker prefix", text)
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				t.Errorf("parsePureComment accepted %q without a word boundary after the marker", text)
+			}
+			for k := range allow {
+				if strings.ContainsAny(k, " \t\n,") {
+					t.Errorf("parsePureComment(%q) grant %q contains separators", text, k)
+				}
+			}
+		}
+	})
+}

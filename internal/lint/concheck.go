@@ -1,0 +1,782 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Concheck enforces the concurrency discipline the serving and simulation
+// engines rely on:
+//
+//   - no blocking channel operation (send, receive, range, select without
+//     default) while a sync.Mutex or sync.RWMutex is held — a receiver that
+//     needs the same lock deadlocks the shard;
+//   - sync.WaitGroup balance per launch site: Add must precede the `go`
+//     statement that runs the matching Done, never run inside the launched
+//     goroutine (the classic lost-Add race against Wait);
+//   - goroutine-leak shapes: a `go func(){...}` that blocks on a captured
+//     channel which the enclosing function neither closes, sends to, nor
+//     hands to anyone else can never exit, and an unconditional `for {}`
+//     with no return/break/channel op spins forever;
+//   - resource acquire/release pairing (Pairs): each acquire call must be
+//     immediately followed by `defer recv.release()` on the same receiver,
+//     so a panicking executor cannot strand the arena in the acquired
+//     state.
+//
+// All rules are shape checks over single function bodies (closures get a
+// fresh lock state — a goroutine does not inherit its parent's critical
+// section), so a finding names the exact statement that breaks discipline.
+type Concheck struct {
+	// Pairs are the acquire/release method disciplines to enforce.
+	Pairs []AcquirePair
+}
+
+func (*Concheck) Name() string { return "concheck" }
+
+func (a *Concheck) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					body = n.Body
+				case *ast.FuncLit:
+					body = n.Body
+				default:
+					return true
+				}
+				if body == nil {
+					return true
+				}
+				diags = append(diags, a.checkLocks(prog, pkg, body)...)
+				diags = append(diags, a.checkGoStmts(prog, pkg, body)...)
+				diags = append(diags, a.checkPairs(prog, pkg, body)...)
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// ---- rule 1: no blocking channel op under a held mutex ----
+
+// lockMethod classifies a call as a sync.Mutex/RWMutex Lock-family method
+// and returns the receiver expression's canonical string.
+func lockMethod(info *types.Info, call *ast.CallExpr) (recv string, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj, _ := calleeOf(info, call)
+	fn, isFn := obj.(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	recvType := fn.Type().(*types.Signature).Recv().Type()
+	if p, isPtr := recvType.(*types.Pointer); isPtr {
+		recvType = p.Elem()
+	}
+	if named, isNamed := recvType.(*types.Named); !isNamed ||
+		(named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+// checkLocks runs the held-lock scan over one function body. The held set
+// maps lock receiver strings to the position of the acquiring call.
+func (a *Concheck) checkLocks(prog *Program, pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	a.walkLocked(prog, pkg, body.List, map[string]token.Pos{}, &diags)
+	return diags
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	c := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// walkLocked scans a statement sequence, updating the held-lock set on
+// Lock/Unlock calls and flagging blocking channel operations while any
+// lock is held. Nested control flow recurses with a copy of the set, so a
+// branch cannot leak its lock state into its siblings.
+func (a *Concheck) walkLocked(prog *Program, pkg *Package, stmts []ast.Stmt, held map[string]token.Pos, diags *[]Diagnostic) {
+	for _, stmt := range stmts {
+		for {
+			ls, ok := stmt.(*ast.LabeledStmt)
+			if !ok {
+				break
+			}
+			stmt = ls.Stmt
+		}
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if recv, method, ok := lockMethod(pkg.Info, call); ok {
+					switch method {
+					case "Lock", "RLock":
+						held[recv] = call.Pos()
+					case "Unlock", "RUnlock":
+						delete(held, recv)
+					}
+					continue
+				}
+			}
+			a.flagChanOps(prog, pkg, s, held, diags)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to function exit: every
+			// later statement still runs inside the critical section.
+			a.flagChanOps(prog, pkg, s.Call, held, diags)
+		case *ast.BlockStmt:
+			a.walkLocked(prog, pkg, s.List, held, diags)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				a.flagChanOps(prog, pkg, s.Init, held, diags)
+			}
+			a.flagChanOps(prog, pkg, s.Cond, held, diags)
+			a.walkLocked(prog, pkg, s.Body.List, copyHeld(held), diags)
+			if s.Else != nil {
+				a.walkLocked(prog, pkg, []ast.Stmt{s.Else}, copyHeld(held), diags)
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				a.flagChanOps(prog, pkg, s.Init, held, diags)
+			}
+			if s.Cond != nil {
+				a.flagChanOps(prog, pkg, s.Cond, held, diags)
+			}
+			a.walkLocked(prog, pkg, s.Body.List, copyHeld(held), diags)
+		case *ast.RangeStmt:
+			if len(held) > 0 && isChanType(pkg.Info.TypeOf(s.X)) {
+				*diags = append(*diags, a.lockDiag(prog, s.Pos(), "range over channel", held))
+			}
+			a.walkLocked(prog, pkg, s.Body.List, copyHeld(held), diags)
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				a.flagChanOps(prog, pkg, s.Init, held, diags)
+			}
+			if s.Tag != nil {
+				a.flagChanOps(prog, pkg, s.Tag, held, diags)
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					a.walkLocked(prog, pkg, cc.Body, copyHeld(held), diags)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					a.walkLocked(prog, pkg, cc.Body, copyHeld(held), diags)
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !selectHasDefault(s) {
+				*diags = append(*diags, a.lockDiag(prog, s.Pos(), "blocking select", held))
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					a.walkLocked(prog, pkg, cc.Body, copyHeld(held), diags)
+				}
+			}
+		case *ast.GoStmt:
+			// The goroutine runs outside this critical section; its own
+			// body is scanned as a separate function literal. Launch
+			// arguments are evaluated here, though.
+			for _, arg := range s.Call.Args {
+				a.flagChanOps(prog, pkg, arg, held, diags)
+			}
+		default:
+			a.flagChanOps(prog, pkg, stmt, held, diags)
+		}
+	}
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// flagChanOps reports blocking channel operations inside n (not descending
+// into function literals) when any lock is held.
+func (a *Concheck) flagChanOps(prog *Program, pkg *Package, n ast.Node, held map[string]token.Pos, diags *[]Diagnostic) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			*diags = append(*diags, a.lockDiag(prog, c.Pos(), "channel send", held))
+		case *ast.UnaryExpr:
+			if c.Op == token.ARROW {
+				*diags = append(*diags, a.lockDiag(prog, c.Pos(), "channel receive", held))
+			}
+		}
+		return true
+	})
+}
+
+func (a *Concheck) lockDiag(prog *Program, pos token.Pos, op string, held map[string]token.Pos) Diagnostic {
+	name, lockPos := "", token.NoPos
+	for recv, p := range held {
+		if name == "" || p < lockPos {
+			name, lockPos = recv, p
+		}
+	}
+	return Diagnostic{
+		Analyzer: a.Name(),
+		Pos:      prog.Fset.Position(pos),
+		Message: fmt.Sprintf("%s while holding %s (locked at line %d): a blocked channel op under a mutex deadlocks every other taker",
+			op, name, prog.Fset.Position(lockPos).Line),
+	}
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// ---- rules 2 & 3: WaitGroup balance and goroutine-leak shapes ----
+
+// checkGoStmts examines every `go func(){...}` launched directly by body
+// (not by nested literals — those run their own scan when Run visits them).
+func (a *Concheck) checkGoStmts(prog *Program, pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != nil {
+			// Nested literals are scanned as their own functions, but a go
+			// stmt lexically inside one belongs to that literal's scan; to
+			// keep launch-site pairing local we stop here.
+			return false
+		}
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true // named-function launches pair Add/Done across bodies
+		}
+		diags = append(diags, a.checkWaitGroup(prog, pkg, body, g, lit)...)
+		diags = append(diags, a.checkLeakShapes(prog, pkg, body, g, lit)...)
+		return true
+	})
+	return diags
+}
+
+// waitGroupCall classifies a call as sync.WaitGroup Add/Done/Wait and
+// returns the receiver string.
+func waitGroupCall(info *types.Info, call *ast.CallExpr) (recv string, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj, _ := calleeOf(info, call)
+	fn, isFn := obj.(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Add", "Done", "Wait":
+	default:
+		return "", "", false
+	}
+	recvType := fn.Type().(*types.Signature).Recv().Type()
+	if p, isPtr := recvType.(*types.Pointer); isPtr {
+		recvType = p.Elem()
+	}
+	if named, isNamed := recvType.(*types.Named); !isNamed || named.Obj().Name() != "WaitGroup" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+func (a *Concheck) checkWaitGroup(prog *Program, pkg *Package, enclosing *ast.BlockStmt, g *ast.GoStmt, lit *ast.FuncLit) []Diagnostic {
+	var diags []Diagnostic
+	// Done targets inside the launched goroutine, and any Add that snuck in
+	// with them.
+	doneRecvs := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method, ok := waitGroupCall(pkg.Info, call)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Add":
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name(),
+				Pos:      prog.Fset.Position(call.Pos()),
+				Message:  fmt.Sprintf("%s.Add inside the launched goroutine: Add must happen before the go statement or Wait can return early", recv),
+			})
+		case "Done":
+			doneRecvs[recv] = true
+		}
+		return true
+	})
+	for recv := range doneRecvs {
+		if !addPrecedesLaunch(pkg.Info, enclosing, g, lit, recv) {
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name(),
+				Pos:      prog.Fset.Position(g.Pos()),
+				Message:  fmt.Sprintf("goroutine calls %s.Done but no %s.Add precedes the launch in this function", recv, recv),
+			})
+		}
+	}
+	return diags
+}
+
+// addPrecedesLaunch reports whether enclosing contains recv.Add(...) before
+// the go statement, or the WaitGroup reaches this function from outside (a
+// parameter or field receiver — its Add legitimately lives with the caller).
+func addPrecedesLaunch(info *types.Info, enclosing *ast.BlockStmt, g *ast.GoStmt, lit *ast.FuncLit, recv string) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found || n == lit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if r, method, ok := waitGroupCall(info, call); ok && method == "Add" && r == recv && call.Pos() < g.Pos() {
+			found = true
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	// A selector receiver (s.wg) or one declared outside this body belongs
+	// to a wider lifecycle; only a locally-declared plain variable must be
+	// balanced at the launch site.
+	obj := lookupIdentObj(info, enclosing, recv)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < enclosing.Pos() || obj.Pos() >= enclosing.End()
+}
+
+// lookupIdentObj resolves a plain identifier name used inside body to its
+// object, or nil when the name is not a plain local identifier.
+func lookupIdentObj(info *types.Info, body *ast.BlockStmt, name string) types.Object {
+	var obj types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if o := info.Defs[id]; o != nil {
+				obj = o
+			} else if o := info.Uses[id]; o != nil {
+				obj = o
+			}
+		}
+		return true
+	})
+	return obj
+}
+
+// checkLeakShapes flags goroutines with no visible exit path: a blocking
+// receive on a captured channel the enclosing function never closes, sends
+// to, or passes on; a send on a captured unbuffered channel nobody
+// receives; and an unconditional for{} with no return, break, or channel
+// operation.
+func (a *Concheck) checkLeakShapes(prog *Program, pkg *Package, enclosing *ast.BlockStmt, g *ast.GoStmt, lit *ast.FuncLit) []Diagnostic {
+	var diags []Diagnostic
+
+	litParams := map[types.Object]bool{}
+	if lit.Type.Params != nil {
+		for _, f := range lit.Type.Params.List {
+			for _, id := range f.Names {
+				if o := pkg.Info.Defs[id]; o != nil {
+					litParams[o] = true
+				}
+			}
+		}
+	}
+	captured := func(e ast.Expr) (string, bool) {
+		root := rootIdent(e)
+		if root == nil {
+			// Selector-rooted channels (c.done) are fields of a shared
+			// object: their lifecycle is the object's, not this launch
+			// site's.
+			return "", false
+		}
+		obj := pkg.Info.Uses[root]
+		if obj == nil || litParams[obj] {
+			return "", false
+		}
+		// Captured means declared outside the literal.
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return "", false
+		}
+		return root.Name, true
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			name, ok := captured(n.X)
+			if !ok || inSelectWithEscape(pkg.Info, lit.Body, n.Pos()) {
+				return true
+			}
+			if !enclosingReleases(pkg.Info, enclosing, lit, name, "recv") {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name(),
+					Pos:      prog.Fset.Position(n.Pos()),
+					Message:  fmt.Sprintf("goroutine blocks receiving from captured channel %s with no close, send, or cancellation path in the launching function: it can never exit", name),
+				})
+			}
+		case *ast.RangeStmt:
+			if !isChanType(pkg.Info.TypeOf(n.X)) {
+				return true
+			}
+			name, ok := captured(n.X)
+			if !ok {
+				return true
+			}
+			if !enclosingReleases(pkg.Info, enclosing, lit, name, "recv") {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name(),
+					Pos:      prog.Fset.Position(n.Pos()),
+					Message:  fmt.Sprintf("goroutine ranges over captured channel %s with no close, send, or cancellation path in the launching function: it can never exit", name),
+				})
+			}
+		case *ast.SendStmt:
+			name, ok := captured(n.Chan)
+			if !ok || inSelectWithEscape(pkg.Info, lit.Body, n.Pos()) {
+				return true
+			}
+			if !enclosingReleases(pkg.Info, enclosing, lit, name, "send") &&
+				!bufferedMake(pkg.Info, enclosing, name) {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name(),
+					Pos:      prog.Fset.Position(n.Pos()),
+					Message:  fmt.Sprintf("goroutine sends to captured unbuffered channel %s that the launching function never receives from or passes on: the send can block forever", name),
+				})
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopCanExit(n) {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name(),
+					Pos:      prog.Fset.Position(n.Pos()),
+					Message:  "goroutine spins in a for{} loop with no return, break, or channel operation: it never exits",
+				})
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// rootIdent peels index/paren expressions down to a plain identifier;
+// selector-rooted expressions return nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// inSelectWithEscape reports whether pos sits inside a select statement in
+// body that has a default case or a case receiving from a context-style
+// Done() channel — either gives the goroutine an exit path.
+func inSelectWithEscape(info *types.Info, body *ast.BlockStmt, pos token.Pos) bool {
+	escape := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escape {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || pos < sel.Pos() || pos >= sel.End() {
+			return true
+		}
+		if selectHasDefault(sel) {
+			escape = true
+			return false
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				u, ok := m.(*ast.UnaryExpr)
+				if !ok || u.Op != token.ARROW {
+					return true
+				}
+				if call, ok := ast.Unparen(u.X).(*ast.CallExpr); ok {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+						escape = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return escape
+}
+
+// enclosingReleases reports whether the launching function, outside the
+// goroutine literal itself, does something that lets the goroutine's
+// blocking op on channel name complete: close(name) or a send for "recv"
+// ops, a receive for "send" ops — or hands the channel to someone else
+// (call argument, return value), which moves the responsibility out of
+// sight and out of this analyzer's scope.
+func enclosingReleases(info *types.Info, enclosing *ast.BlockStmt, lit *ast.FuncLit, name string, need string) bool {
+	released := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if released || n == lit {
+			return n != lit
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if r := rootIdent(firstArg(n)); r != nil && r.Name == name {
+					released = true
+					return false
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); !ok || (id.Name != "make" && id.Name != "close" && id.Name != "len" && id.Name != "cap") {
+				for _, arg := range n.Args {
+					if r := rootIdent(arg); r != nil && r.Name == name {
+						released = true // escapes into a callee
+						return false
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if need == "recv" {
+				if r := rootIdent(n.Chan); r != nil && r.Name == name {
+					released = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if need == "send" && n.Op == token.ARROW {
+				if r := rootIdent(n.X); r != nil && r.Name == name {
+					released = true
+					return false
+				}
+			}
+		case *ast.RangeStmt:
+			if need == "send" && isChanType(info.TypeOf(n.X)) {
+				if r := rootIdent(n.X); r != nil && r.Name == name {
+					released = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if r := rootIdent(res); r != nil && r.Name == name {
+					released = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return released
+}
+
+func firstArg(call *ast.CallExpr) ast.Expr {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// bufferedMake reports whether name is created by make(chan T, n) with a
+// nonzero constant capacity in the enclosing body: a buffered send cannot
+// block until the buffer fills.
+func bufferedMake(info *types.Info, enclosing *ast.BlockStmt, name string) bool {
+	buffered := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if buffered {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name != name || i >= len(as.Rhs) {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				continue
+			}
+			if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fid.Name == "make" {
+				if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() != "0" {
+					buffered = true
+				}
+			}
+		}
+		return true
+	})
+	return buffered
+}
+
+// loopCanExit reports whether a for{} body contains any statement that can
+// leave it: return, break, goto, panic, or a channel operation (a blocked
+// channel op parks the goroutine instead of burning a core, and gets its
+// own leak analysis above).
+func loopCanExit(loop *ast.ForStmt) bool {
+	can := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if can {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			can = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				can = true
+			}
+		case *ast.SendStmt, *ast.SelectStmt:
+			can = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				can = true
+			}
+		case *ast.RangeStmt:
+			can = true // ranges can end, and range-over-chan parks
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				can = true
+			}
+		}
+		return true
+	})
+	return can
+}
+
+// ---- rule 4: resource acquire/release pairing ----
+
+// checkPairs enforces that every configured acquire call is immediately
+// followed by a deferred release on the same receiver.
+func (a *Concheck) checkPairs(prog *Program, pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	if len(a.Pairs) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	var scanList func(stmts []ast.Stmt)
+	scanList = func(stmts []ast.Stmt) {
+		for i, stmt := range stmts {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			obj, _ := calleeOf(pkg.Info, call)
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			pair, ok := a.pairFor(fn)
+			if !ok {
+				continue
+			}
+			recv := types.ExprString(sel.X)
+			if !nextIsDeferredRelease(pkg.Info, stmts, i, recv, pair.Release) {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name(),
+					Pos:      prog.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf("%s.%s is not immediately followed by defer %s.%s(): a panic between them strands the resource acquired",
+						recv, fn.Name(), recv, pair.Release),
+				})
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Literal bodies run their own checkPairs when Run visits them.
+			return false
+		case *ast.BlockStmt:
+			scanList(n.List)
+		case *ast.CaseClause:
+			scanList(n.Body)
+		case *ast.CommClause:
+			scanList(n.Body)
+		}
+		return true
+	})
+	return diags
+}
+
+func (a *Concheck) pairFor(fn *types.Func) (AcquirePair, bool) {
+	full := fullName(fn)
+	for _, p := range a.Pairs {
+		if p.Acquire == full {
+			return p, true
+		}
+	}
+	return AcquirePair{}, false
+}
+
+func nextIsDeferredRelease(info *types.Info, stmts []ast.Stmt, i int, recv, release string) bool {
+	if i+1 >= len(stmts) {
+		return false
+	}
+	def, ok := stmts[i+1].(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(def.Call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return sel.Sel.Name == release && types.ExprString(sel.X) == recv
+}

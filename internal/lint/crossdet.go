@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Crossdet lifts the determinism checks across package boundaries: the
+// deterministic packages (Pkgs, the replay contract) call helpers in
+// packages outside the contract — routing, stats, geo — and a map-order
+// leak or wall-clock read in such a helper breaks replay just as surely as
+// one written inline. Crossdet builds the module's static call graph over
+// the topo-ordered type info, marks every function reachable from a
+// deterministic package, and runs the determinism body checks on the
+// reached functions that live outside those packages (inside them, the
+// plain determinism analyzer already covers every function, reachable or
+// not). Each finding carries the deterministic package that reaches the
+// offending helper.
+//
+// Reachability is static calls only (including calls made by closures,
+// charged to the enclosing function); a function reference passed as a
+// value without being called at a seen site is invisible to the graph.
+type Crossdet struct {
+	Pkgs []string
+}
+
+func (*Crossdet) Name() string { return "crossdet" }
+
+// funcDecl locates one function's declaration.
+type funcDecl struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+func (a *Crossdet) Run(prog *Program) []Diagnostic {
+	// Index every declared function in the module.
+	decls := map[*types.Func]funcDecl{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = funcDecl{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+
+	// Seed the worklist with every function of the deterministic packages,
+	// in sorted package / source order so the origin attribution (which
+	// deterministic package gets credited with reaching a helper) is
+	// stable across runs.
+	origin := map[*types.Func]string{}
+	var queue []*types.Func
+	for _, pkg := range prog.Pkgs {
+		if !matchPrefix(a.Pkgs, pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					origin[fn] = pkg.Path
+					queue = append(queue, fn)
+				}
+			}
+		}
+	}
+
+	// BFS over static call edges.
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd, ok := decls[fn]
+		if !ok {
+			continue
+		}
+		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj, _ := calleeOf(fd.pkg.Info, call)
+			callee, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			if _, declared := decls[callee]; !declared {
+				return true // stdlib or interface-abstract: out of module scope
+			}
+			if _, seen := origin[callee]; !seen {
+				origin[callee] = origin[fn]
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	// Check every reached function living outside the deterministic
+	// packages with the shared determinism body checks.
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if matchPrefix(a.Pkgs, pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				orig, reached := origin[fn]
+				if !reached {
+					continue
+				}
+				pass := &detPass{
+					name:   a.Name(),
+					suffix: fmt.Sprintf(" [reachable from deterministic package %s]", orig),
+				}
+				diags = append(diags, pass.inspect(prog, pkg, fd.Body)...)
+			}
+		}
+	}
+	return diags
+}

@@ -39,29 +39,50 @@ var globalRandConstructors = map[string]bool{
 }
 
 func (a *Determinism) Run(prog *Program) []Diagnostic {
+	pass := &detPass{name: a.Name()}
 	var diags []Diagnostic
 	for _, pkg := range prog.Pkgs {
 		if !matchPrefix(a.Pkgs, pkg.Path) {
 			continue
 		}
 		for _, f := range pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.CallExpr:
-					if d, ok := a.checkCall(prog, pkg, n); ok {
-						diags = append(diags, d)
-					}
-				case *ast.RangeStmt:
-					diags = append(diags, a.checkMapRange(prog, pkg, n)...)
-				}
-				return true
-			})
+			diags = append(diags, pass.inspect(prog, pkg, f)...)
 		}
 	}
 	return diags
 }
 
-func (a *Determinism) checkCall(prog *Program, pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
+// detPass holds the determinism body checks in a reusable form: the
+// Determinism analyzer runs them over whole files of the deterministic
+// packages, and Crossdet runs them over individual functions elsewhere in
+// the module that those packages reach, tagging each finding with the
+// reachability suffix.
+type detPass struct {
+	name   string
+	suffix string // appended to every message ("" for plain determinism)
+}
+
+// inspect runs the call and map-range checks over one AST subtree.
+func (a *detPass) inspect(prog *Program, pkg *Package, node ast.Node) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if d, ok := a.checkCall(prog, pkg, n); ok {
+				diags = append(diags, d)
+			}
+		case *ast.RangeStmt:
+			diags = append(diags, a.checkMapRange(prog, pkg, n)...)
+		}
+		return true
+	})
+	for i := range diags {
+		diags[i].Message += a.suffix
+	}
+	return diags
+}
+
+func (a *detPass) checkCall(prog *Program, pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
 	obj, _ := calleeOf(pkg.Info, call)
 	fn, ok := obj.(*types.Func)
 	if !ok || fn.Pkg() == nil {
@@ -72,7 +93,7 @@ func (a *Determinism) checkCall(prog *Program, pkg *Package, call *ast.CallExpr)
 		switch fn.Name() {
 		case "Now", "Since", "Until":
 			return Diagnostic{
-				Analyzer: a.Name(),
+				Analyzer: a.name,
 				Pos:      prog.Fset.Position(call.Pos()),
 				Message:  fmt.Sprintf("time.%s reads the wall clock: deterministic packages must not depend on real time", fn.Name()),
 			}, true
@@ -80,7 +101,7 @@ func (a *Determinism) checkCall(prog *Program, pkg *Package, call *ast.CallExpr)
 	case "math/rand", "math/rand/v2":
 		if fn.Type().(*types.Signature).Recv() == nil && !globalRandConstructors[fn.Name()] {
 			return Diagnostic{
-				Analyzer: a.Name(),
+				Analyzer: a.name,
 				Pos:      prog.Fset.Position(call.Pos()),
 				Message:  fmt.Sprintf("%s.%s uses the process-global random stream: use a seeded source (xrand.Source) instead", fn.Pkg().Path(), fn.Name()),
 			}, true
@@ -90,7 +111,7 @@ func (a *Determinism) checkCall(prog *Program, pkg *Package, call *ast.CallExpr)
 }
 
 // checkMapRange flags order-dependent sinks inside a range over a map.
-func (a *Determinism) checkMapRange(prog *Program, pkg *Package, rng *ast.RangeStmt) []Diagnostic {
+func (a *detPass) checkMapRange(prog *Program, pkg *Package, rng *ast.RangeStmt) []Diagnostic {
 	if rng.X == nil {
 		return nil
 	}
@@ -134,7 +155,7 @@ func (a *Determinism) checkMapRange(prog *Program, pkg *Package, rng *ast.RangeS
 
 	diag := func(pos token.Pos, format string, args ...any) Diagnostic {
 		return Diagnostic{
-			Analyzer: a.Name(),
+			Analyzer: a.name,
 			Pos:      prog.Fset.Position(pos),
 			Message:  fmt.Sprintf(format, args...),
 		}
@@ -211,7 +232,7 @@ var orderFreeAssignOps = map[token.Token]bool{
 	token.OR_ASSIGN: true, token.AND_ASSIGN: true, token.XOR_ASSIGN: true,
 }
 
-func (a *Determinism) checkMapRangeAssign(prog *Program, pkg *Package, rng *ast.RangeStmt, keyObj types.Object, as *ast.AssignStmt) []Diagnostic {
+func (a *detPass) checkMapRangeAssign(prog *Program, pkg *Package, rng *ast.RangeStmt, keyObj types.Object, as *ast.AssignStmt) []Diagnostic {
 	if as.Tok == token.DEFINE {
 		return nil // fresh variables live and die inside the loop
 	}
@@ -244,7 +265,7 @@ func (a *Determinism) checkMapRangeAssign(prog *Program, pkg *Package, rng *ast.
 		}
 		if isAppend {
 			diags = append(diags, Diagnostic{
-				Analyzer: a.Name(),
+				Analyzer: a.name,
 				Pos:      prog.Fset.Position(as.Pos()),
 				Message:  fmt.Sprintf("append to %s inside range over map: element order follows map iteration order", root),
 			})
@@ -255,7 +276,7 @@ func (a *Determinism) checkMapRangeAssign(prog *Program, pkg *Package, rng *ast.
 				continue
 			}
 			diags = append(diags, Diagnostic{
-				Analyzer: a.Name(),
+				Analyzer: a.name,
 				Pos:      prog.Fset.Position(as.Pos()),
 				Message:  fmt.Sprintf("non-integer %s fold on %s inside range over map: accumulation order follows map iteration order", as.Tok, root),
 			})
@@ -269,7 +290,7 @@ func (a *Determinism) checkMapRangeAssign(prog *Program, pkg *Package, rng *ast.
 			}
 		}
 		diags = append(diags, Diagnostic{
-			Analyzer: a.Name(),
+			Analyzer: a.name,
 			Pos:      prog.Fset.Position(as.Pos()),
 			Message:  fmt.Sprintf("assignment to %s inside range over map: the last-iterated key wins", root),
 		})

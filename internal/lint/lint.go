@@ -67,6 +67,30 @@ type Config struct {
 	// MustCheck are functions (by types.FullName) whose error result must
 	// not be discarded, for the errcheck analyzer.
 	MustCheck []string
+
+	// PureAllowCalls are callees a //gicnet:pure function may call without
+	// carrying the annotation itself: whole packages by import path
+	// ("hash/fnv") or single functions by types.FullName ("fmt.Fprintf").
+	PureAllowCalls []string
+
+	// PureRoots are functions (by types.FullName) that MUST carry the
+	// //gicnet:pure annotation: the fingerprint-path entry points. The
+	// purecheck analyzer reports any root that is loaded but unannotated,
+	// so the contract cannot silently rot off a renamed function.
+	PureRoots []string
+
+	// AcquirePairs are resource acquire/release method pairs the concheck
+	// analyzer enforces: every acquire call must be followed immediately
+	// by a deferred release on the same receiver.
+	AcquirePairs []AcquirePair
+}
+
+// AcquirePair names one acquire/release discipline: Acquire is the full
+// types.FullName of the acquiring method, Release the bare method name
+// that must be deferred on the same receiver in the next statement.
+type AcquirePair struct {
+	Acquire string
+	Release string
 }
 
 // DefaultConfig returns the contract set enforced on this repository.
@@ -100,6 +124,25 @@ func DefaultConfig() Config {
 			"os.WriteFile",
 			"os.MkdirAll",
 		},
+		PureAllowCalls: []string{
+			"math",            // pure float kernels
+			"math/bits",       // word scans
+			"hash/fnv",        // fingerprint hash construction
+			"encoding/binary", // fixed-width encoding into local buffers
+			"fmt.Fprintf",     // identity headers written into a local hash
+		},
+		PureRoots: []string{
+			"(*gicnet/internal/sim.Result).Fingerprint",
+			"(*gicnet/internal/topology.Network).Fingerprint",
+			"(gicnet/internal/serve.resultKey).batchKey",
+			"(gicnet/internal/serve.resultKey).planKey",
+			"gicnet/internal/serve.shardIndex",
+			"(*gicnet/internal/crosslayer.Index).ScoreDead",
+			"(*gicnet/internal/crosslayer.Index).scoreFromRoots",
+		},
+		AcquirePairs: []AcquirePair{
+			{Acquire: "(*gicnet/internal/sim.Arena).acquire", Release: "release"},
+		},
 	}
 }
 
@@ -107,6 +150,9 @@ func DefaultConfig() Config {
 func Analyzers(cfg Config) []Analyzer {
 	return []Analyzer{
 		&Determinism{Pkgs: cfg.DeterministicPkgs},
+		&Crossdet{Pkgs: cfg.DeterministicPkgs},
+		&Concheck{Pairs: cfg.AcquirePairs},
+		&Purecheck{AllowCalls: cfg.PureAllowCalls, Roots: cfg.PureRoots},
 		&Hotpath{AllowCalls: cfg.HotpathAllowCalls},
 		&FloatCmp{},
 		&ErrCheck{MustCheck: cfg.MustCheck},
@@ -162,22 +208,33 @@ type allowSet map[allowKey]bool
 // flagged construct is safe.
 const AllowPrefix = "//gicnet:allow"
 
+// parseAllowComment matches one comment line against AllowPrefix and
+// returns the analyzer names it suppresses. ok is false when the line is
+// not an allow comment (or has no analyzer list).
+func parseAllowComment(text string) (analyzers []string, ok bool) {
+	rest, found := strings.CutPrefix(text, AllowPrefix)
+	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	return strings.Split(fields[0], ","), true
+}
+
 func collectAllows(prog *Program) allowSet {
 	set := allowSet{}
 	for _, pkg := range prog.Pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					rest, ok := strings.CutPrefix(c.Text, AllowPrefix)
-					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
-						continue
-					}
-					fields := strings.Fields(rest)
-					if len(fields) == 0 {
+					names, ok := parseAllowComment(c.Text)
+					if !ok {
 						continue
 					}
 					pos := prog.Fset.Position(c.Pos())
-					for _, name := range strings.Split(fields[0], ",") {
+					for _, name := range names {
 						set[allowKey{pos.Filename, pos.Line, name}] = true
 					}
 				}

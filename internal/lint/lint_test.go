@@ -22,23 +22,25 @@ type want struct {
 	matched bool
 }
 
-// loadWants scans every fixture file in dir for // want expectations.
+// loadWants scans every fixture file under dir (recursively, so
+// cross-package fixtures with subdirectory packages work; want matching is
+// by base name, so fixture file names must stay unique within a fixture)
+// for // want expectations.
 func loadWants(t *testing.T, dir string) []*want {
 	t.Helper()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
 	var wants []*want
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
+	err := filepath.WalkDir(dir, func(path string, e os.DirEntry, err error) error {
+		if err != nil {
+			return err
 		}
-		path := filepath.Join(dir, e.Name())
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			return nil
+		}
 		f, err := os.Open(path)
 		if err != nil {
-			t.Fatal(err)
+			return err
 		}
+		defer f.Close()
 		sc := bufio.NewScanner(f)
 		for line := 1; sc.Scan(); line++ {
 			text := sc.Text()
@@ -58,12 +60,10 @@ func loadWants(t *testing.T, dir string) []*want {
 				wants = append(wants, &want{file: e.Name(), line: line, re: re})
 			}
 		}
-		if err := sc.Err(); err != nil {
-			t.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			t.Fatal(err)
-		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 	return wants
 }
@@ -118,6 +118,28 @@ func TestHotpathFixture(t *testing.T) {
 func TestAsmLeafFixture(t *testing.T) {
 	runFixture(t, "asmleaf", []lint.Analyzer{
 		&lint.Hotpath{AllowCalls: []string{"math", "math/bits"}},
+	})
+}
+
+func TestConcheckFixture(t *testing.T) {
+	runFixture(t, "concheck", []lint.Analyzer{
+		&lint.Concheck{Pairs: []lint.AcquirePair{
+			{Acquire: "(*fixture/concheck.Arena).acquire", Release: "release"},
+		}},
+	})
+}
+
+func TestPurecheckFixture(t *testing.T) {
+	runFixture(t, "purecheck", []lint.Analyzer{
+		&lint.Purecheck{
+			Roots: []string{"fixture/purecheck.mustAnnotate"},
+		},
+	})
+}
+
+func TestCrossdetFixture(t *testing.T) {
+	runFixture(t, "crossdet", []lint.Analyzer{
+		&lint.Crossdet{Pkgs: []string{"fixture/crossdet/det"}},
 	})
 }
 

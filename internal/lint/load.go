@@ -32,6 +32,30 @@ type Package struct {
 	Info  *types.Info
 }
 
+// LoadOptions tunes what LoadModuleOpts loads.
+type LoadOptions struct {
+	// Tags are extra build tags considered true when selecting files, the
+	// way `go build -tags` would (the host GOOS/GOARCH and gc are always
+	// true). "purego" loads the pure-Go kernel variants instead of the
+	// assembly dispatch files.
+	Tags []string
+
+	// Only, when non-empty, restricts the load to the named import paths
+	// plus their transitive module-internal dependencies (typechecking a
+	// package requires its imports). The -changed mode of cmd/gicnetlint
+	// uses this so iterating on one package does not re-typecheck the
+	// whole module.
+	Only map[string]bool
+}
+
+// rawPkg is one parsed-but-not-yet-typechecked package.
+type rawPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports map[string]bool
+}
+
 // LoadModule parses and type-checks every non-test package under the module
 // rooted at root (the directory holding go.mod), using only the standard
 // library: module-internal imports resolve against the packages being
@@ -40,18 +64,24 @@ type Package struct {
 // as are _test.go files — the repo contracts the analyzers enforce bind
 // shipped code, not tests.
 func LoadModule(root string) (*Program, error) {
+	return LoadModuleOpts(root, LoadOptions{})
+}
+
+// LoadModuleOpts is LoadModule with explicit build tags and an optional
+// package subset.
+func LoadModuleOpts(root string, opts LoadOptions) (*Program, error) {
 	modPath, err := modulePath(filepath.Join(root, "go.mod"))
 	if err != nil {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-
-	type rawPkg struct {
-		path    string
-		dir     string
-		files   []*ast.File
-		imports map[string]bool
+	tags := map[string]bool{}
+	for _, t := range opts.Tags {
+		if t != "" {
+			tags[t] = true
+		}
 	}
+
 	var raws []*rawPkg
 	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -65,7 +95,7 @@ func LoadModule(root string) (*Program, error) {
 			name == "testdata" || name == "vendor") {
 			return filepath.SkipDir
 		}
-		files, perr := parseDir(fset, path)
+		files, perr := parseDir(fset, path, tags)
 		if perr != nil {
 			return perr
 		}
@@ -80,23 +110,70 @@ func LoadModule(root string) (*Program, error) {
 		if rel != "." {
 			importPath = modPath + "/" + filepath.ToSlash(rel)
 		}
-		rp := &rawPkg{path: importPath, dir: path, files: files, imports: map[string]bool{}}
-		for _, f := range files {
-			for _, imp := range f.Imports {
-				p, _ := strconv.Unquote(imp.Path.Value)
-				rp.imports[p] = true
-			}
-		}
-		raws = append(raws, rp)
+		raws = append(raws, newRawPkg(importPath, path, files))
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(raws, func(i, j int) bool { return raws[i].path < raws[j].path })
+	if len(opts.Only) > 0 {
+		raws = subsetWithDeps(raws, opts.Only)
+	}
+	order, err := topoOrder(raws)
+	if err != nil {
+		return nil, err
+	}
+	return checkAll(fset, order)
+}
 
-	// Topologically order by module-internal imports so each package's
-	// dependencies are checked (and registered with the importer) first.
+// newRawPkg records one parsed package and its import set.
+func newRawPkg(importPath, dir string, files []*ast.File) *rawPkg {
+	rp := &rawPkg{path: importPath, dir: dir, files: files, imports: map[string]bool{}}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			rp.imports[p] = true
+		}
+	}
+	return rp
+}
+
+// subsetWithDeps keeps the packages in want plus everything they import
+// (transitively) from the same load — typechecking needs the dependencies
+// even when only the wanted packages are analyzed.
+func subsetWithDeps(raws []*rawPkg, want map[string]bool) []*rawPkg {
+	byPath := map[string]*rawPkg{}
+	for _, rp := range raws {
+		byPath[rp.path] = rp
+	}
+	keep := map[string]bool{}
+	var visit func(path string)
+	visit = func(path string) {
+		rp, ok := byPath[path]
+		if !ok || keep[path] {
+			return
+		}
+		keep[path] = true
+		for dep := range rp.imports {
+			visit(dep)
+		}
+	}
+	for path := range want {
+		visit(path)
+	}
+	var out []*rawPkg
+	for _, rp := range raws {
+		if keep[rp.path] {
+			out = append(out, rp)
+		}
+	}
+	return out
+}
+
+// topoOrder sorts packages so each package's module-internal dependencies
+// precede it (the order typechecking requires).
+func topoOrder(raws []*rawPkg) ([]*rawPkg, error) {
+	sort.Slice(raws, func(i, j int) bool { return raws[i].path < raws[j].path })
 	byPath := map[string]*rawPkg{}
 	for _, rp := range raws {
 		byPath[rp.path] = rp
@@ -128,7 +205,12 @@ func LoadModule(root string) (*Program, error) {
 			return nil, err
 		}
 	}
+	return order, nil
+}
 
+// checkAll typechecks the topo-ordered packages, registering each with the
+// importer so later packages resolve against it.
+func checkAll(fset *token.FileSet, order []*rawPkg) (*Program, error) {
 	imp := &chainImporter{
 		std:  importer.ForCompiler(fset, "source", nil),
 		mods: map[string]*types.Package{},
@@ -147,37 +229,61 @@ func LoadModule(root string) (*Program, error) {
 	return prog, nil
 }
 
-// LoadFixture parses and type-checks the single package in dir under the
-// given synthetic import path. Fixture packages may import the standard
-// library only; the lint test suite uses this to run analyzers over
-// testdata packages that deliberately violate the contracts.
+// LoadFixture parses and type-checks the package tree rooted at dir under
+// the given synthetic import path: dir itself plus any nested directories
+// holding Go files, so fixtures can exercise cross-package analyzers
+// (subdirectory a/b loads as importPath/a/b). Fixture packages may import
+// the standard library and each other; the lint test suite uses this to
+// run analyzers over testdata packages that deliberately violate the
+// contracts.
 func LoadFixture(dir, importPath string) (*Program, error) {
 	fset := token.NewFileSet()
-	files, err := parseDir(fset, dir)
+	var raws []*rawPkg
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		files, perr := parseDir(fset, path, nil)
+		if perr != nil {
+			return perr
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, rerr := filepath.Rel(dir, path)
+		if rerr != nil {
+			return rerr
+		}
+		pkgPath := importPath
+		if rel != "." {
+			pkgPath = importPath + "/" + filepath.ToSlash(rel)
+		}
+		raws = append(raws, newRawPkg(pkgPath, path, files))
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if len(files) == 0 {
+	if len(raws) == 0 {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
-	imp := &chainImporter{
-		std:  importer.ForCompiler(fset, "source", nil),
-		mods: map[string]*types.Package{},
-	}
-	pkg, err := check(fset, importPath, files, imp)
+	order, err := topoOrder(raws)
 	if err != nil {
-		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+		return nil, err
 	}
-	pkg.Dir = dir
-	return &Program{Fset: fset, Pkgs: []*Package{pkg}}, nil
+	return checkAll(fset, order)
 }
 
-// parseDir parses every non-test .go file directly in dir that the host
-// build configuration selects, with comments. Build-constraint filtering
-// matters because packages with GOARCH-tagged variants (the bitset kernels)
-// declare the same functions in mutually exclusive files — loading them all
-// would be a redeclaration error the real build never sees.
-func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+// parseDir parses every non-test .go file directly in dir that the build
+// configuration (host GOOS/GOARCH plus tags) selects, with comments.
+// Build-constraint filtering matters because packages with GOARCH-tagged
+// variants (the bitset kernels) declare the same functions in mutually
+// exclusive files — loading them all would be a redeclaration error the
+// real build never sees.
+func parseDir(fset *token.FileSet, dir string, tags map[string]bool) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -196,7 +302,7 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !constraintSelected(f) {
+		if !constraintSelected(f, tags) {
 			continue
 		}
 		files = append(files, f)
@@ -238,10 +344,10 @@ func suffixSelected(name string) bool {
 }
 
 // constraintSelected evaluates the file's //go:build (or legacy +build)
-// line for the host configuration. Tags in play: GOOS, GOARCH, and the gc
-// toolchain; anything else — purego included — is false, exactly as in a
-// plain `go build` with no -tags.
-func constraintSelected(f *ast.File) bool {
+// line. Tags in play: GOOS, GOARCH, the gc toolchain, and whatever extra
+// tags the caller passed (the purego lint sweep); anything else is false,
+// exactly as in `go build [-tags ...]`.
+func constraintSelected(f *ast.File, tags map[string]bool) bool {
 	for _, cg := range f.Comments {
 		if cg.Pos() >= f.Package {
 			break
@@ -255,7 +361,7 @@ func constraintSelected(f *ast.File) bool {
 				continue
 			}
 			ok := expr.Eval(func(tag string) bool {
-				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc"
+				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" || tags[tag]
 			})
 			if !ok {
 				return false

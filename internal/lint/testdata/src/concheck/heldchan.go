@@ -1,0 +1,44 @@
+// Package concheck violates the concurrency-discipline contracts on
+// purpose: every // want line is a shape the analyzer must flag, and every
+// unannotated sibling is a legal shape it must stay silent on.
+package concheck
+
+import "sync"
+
+var mu sync.Mutex
+
+func heldSend(ch chan int) {
+	mu.Lock()
+	ch <- 1 // want `channel send while holding mu`
+	mu.Unlock()
+}
+
+func heldRecvUnderDefer(ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	<-ch // want `channel receive while holding mu`
+}
+
+func heldBlockingSelect(a, b chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	select { // want `blocking select while holding mu`
+	case <-a:
+	case <-b:
+	}
+}
+
+func releasedBeforeSend(ch chan int) {
+	mu.Lock()
+	mu.Unlock()
+	ch <- 1
+}
+
+func branchDoesNotLeakLockState(ch chan int, cond bool) {
+	if cond {
+		mu.Lock()
+		defer mu.Unlock()
+		return
+	}
+	<-ch
+}

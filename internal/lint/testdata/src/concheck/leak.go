@@ -1,0 +1,70 @@
+package concheck
+
+import "context"
+
+func leakedRecv() {
+	ch := make(chan int)
+	go func() {
+		<-ch // want `goroutine blocks receiving from captured channel ch`
+	}()
+}
+
+func leakedSend() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want `goroutine sends to captured unbuffered channel ch`
+	}()
+}
+
+func spinner() {
+	go func() {
+		for { // want `goroutine spins in a for`
+		}
+	}()
+}
+
+func closedByLauncher() {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	close(ch)
+}
+
+func bufferedSend() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+}
+
+func escapesIntoCallee(register func(chan int)) {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	register(ch)
+}
+
+func cancellableSelect(ctx context.Context) {
+	ch := make(chan int)
+	go func() {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+func spinnerWithExit(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	close(stop)
+}

@@ -1,0 +1,28 @@
+package concheck
+
+// Arena mimics the simulation arena's acquire/release ownership guard; the
+// fixture test configures it as an AcquirePair.
+type Arena struct{ owner uint32 }
+
+func (a *Arena) acquire() {}
+func (a *Arena) release() {}
+
+func pairingBare(a *Arena) {
+	a.acquire() // want `a.acquire is not immediately followed by defer a.release`
+	work()
+	a.release()
+}
+
+func pairingGapped(a *Arena) {
+	a.acquire() // want `a.acquire is not immediately followed by defer a.release`
+	work()
+	defer a.release()
+}
+
+func pairingGood(a *Arena) {
+	a.acquire()
+	defer a.release()
+	work()
+}
+
+func work() {}

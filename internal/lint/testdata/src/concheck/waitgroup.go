@@ -1,0 +1,45 @@
+package concheck
+
+import "sync"
+
+func addInsideGoroutine(n int, sink *int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() { // want `goroutine calls wg.Done but no wg.Add precedes the launch`
+			wg.Add(1) // want `wg.Add inside the launched goroutine`
+			defer wg.Done()
+			*sink++
+		}()
+	}
+	wg.Wait()
+}
+
+func doneWithoutAdd(sink *int) {
+	var wg sync.WaitGroup
+	go func() { // want `goroutine calls wg.Done but no wg.Add precedes the launch`
+		defer wg.Done()
+		*sink++
+	}()
+	wg.Wait()
+}
+
+func balanced(n int, sink *int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			*sink++
+		}()
+	}
+	wg.Wait()
+}
+
+// A WaitGroup that reaches this function from outside has its Add with the
+// caller; the launch site is legitimately Done-only.
+func helperLaunch(wg *sync.WaitGroup, sink *int) {
+	go func() {
+		defer wg.Done()
+		*sink++
+	}()
+}

@@ -1,0 +1,10 @@
+// Package det stands in for a deterministic package: the fixture test
+// names it in Crossdet.Pkgs, so every helper it reaches must satisfy the
+// determinism body checks.
+package det
+
+import "fixture/crossdet/helper"
+
+func Entry(m map[string]int) []string {
+	return helper.Leaky(m)
+}

@@ -1,0 +1,22 @@
+// Package helper sits outside the deterministic set. Leaky is reached
+// from det.Entry, so its map-order leak must be flagged with the origin
+// attribution; NotReached has the identical leak but no caller in det, so
+// crossdet must stay silent on it — reachability, not package membership,
+// drives enforcement.
+package helper
+
+func Leaky(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map: element order follows map iteration order \[reachable from deterministic package fixture/crossdet/det\]`
+	}
+	return out
+}
+
+func NotReached(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package purecheck
+
+import "time"
+
+//gicnet:pure
+func readsClock() time.Time {
+	return time.Now() // want `pure readsClock: calls time.Now, which is neither`
+}
+
+//gicnet:pure
+func sumMap(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want `pure sumMap: iterates a map`
+		t += v
+	}
+	return t
+}
+
+//gicnet:pure
+func sendsChan(ch chan int) {
+	ch <- 1 // want `pure sendsChan: channel send is a side effect`
+}
+
+//gicnet:pure
+func launches() {
+	x := 0
+	f := func() { x++ }
+	go f() // want `pure launches: launches a goroutine`
+}
+
+// mustAnnotate is configured as a pure root in the fixture test but does
+// not carry the annotation; presence enforcement must flag the function.
+func mustAnnotate() int { return 1 } // want `fixture/purecheck.mustAnnotate is on a fingerprint path and must be annotated //gicnet:pure`

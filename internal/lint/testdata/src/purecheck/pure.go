@@ -1,0 +1,68 @@
+// Package purecheck violates the //gicnet:pure contract on purpose: every
+// // want line is a side effect the analyzer must flag, and every
+// unannotated sibling is a legal pure shape it must stay silent on.
+package purecheck
+
+var counter int
+
+//gicnet:pure
+func writesGlobal() int {
+	counter++ // want `pure writesGlobal: writes package-level state counter`
+	return counter
+}
+
+//gicnet:pure
+func writesParam(dst []int) {
+	dst[0] = 1 // want `pure writesParam: writes through parameter dst`
+}
+
+// fill is the scratch-buffer idiom: the write grant is declared, so the
+// body is legal — and the grant travels to every caller.
+//
+//gicnet:pure allow=write:dst
+func fill(dst []int, v int) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+//gicnet:pure
+func callsFillOnParam(buf []int) {
+	fill(buf, 7) // want `pure callsFillOnParam: writes through parameter buf \(via fill\)`
+}
+
+//gicnet:pure allow=write:buf
+func callsFillAllowed(buf []int) {
+	fill(buf, 7)
+}
+
+//gicnet:pure
+func fillsOwnScratch() int {
+	buf := make([]int, 4)
+	fill(buf, 9)
+	return buf[0]
+}
+
+func impure() { counter++ }
+
+//gicnet:pure
+func callsImpure() {
+	impure() // want `pure callsImpure: calls fixture/purecheck.impure, which is neither //gicnet:pure nor allowlisted`
+}
+
+//gicnet:pure
+func localsAreFair(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// Rebinding a parameter's local copy is not a caller-visible write.
+//
+//gicnet:pure
+func rebindsParamCopy(n int) int {
+	n = n * 2
+	return n
+}

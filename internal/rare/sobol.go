@@ -91,6 +91,8 @@ func init() {
 // sobolRaw returns the unscrambled 32-bit integer coordinate of point
 // index in dimension d: the XOR of the direction numbers selected by the
 // set bits of the index.
+//
+//gicnet:pure
 func sobolRaw(d int, index uint32) uint32 {
 	v := &sobolDirs[d]
 	var x uint32
@@ -112,6 +114,8 @@ func sobolRaw(d int, index uint32) uint32 {
 // preserves every dyadic stratification property of the digital sequence
 // while decorrelating the deterministic Sobol artefacts, and different
 // seeds give statistically independent randomisations.
+//
+//gicnet:pure
 func owenScramble(x, seed uint32) uint32 {
 	x = bits.Reverse32(x)
 	x += seed

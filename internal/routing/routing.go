@@ -61,21 +61,27 @@ func RegionShares(demands []Demand) (map[geo.Region]float64, error) {
 // inter-regional volume; intra-region traffic does not cross the
 // submarine network and is excluded).
 func DefaultDemands() []Demand {
-	share := map[geo.Region]float64{
-		geo.RegionNorthAmerica: 0.30,
-		geo.RegionEurope:       0.27,
-		geo.RegionAsia:         0.25,
-		geo.RegionSouthAmerica: 0.08,
-		geo.RegionAfrica:       0.05,
-		geo.RegionOceania:      0.05,
+	// A fixed-order table, deliberately not a map: demand synthesis feeds
+	// the serving and cross-layer fingerprint paths, so element order must
+	// come from source order, never from map iteration.
+	shares := []struct {
+		region geo.Region
+		w      float64
+	}{
+		{geo.RegionNorthAmerica, 0.30},
+		{geo.RegionEurope, 0.27},
+		{geo.RegionAsia, 0.25},
+		{geo.RegionSouthAmerica, 0.08},
+		{geo.RegionAfrica, 0.05},
+		{geo.RegionOceania, 0.05},
 	}
 	var out []Demand
-	for a, wa := range share {
-		for b, wb := range share {
-			if a == b {
+	for _, a := range shares {
+		for _, b := range shares {
+			if a.region == b.region {
 				continue
 			}
-			out = append(out, Demand{From: a, To: b, Volume: wa * wb})
+			out = append(out, Demand{From: a.region, To: b.region, Volume: a.w * b.w})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -249,6 +255,7 @@ func gatewaysByRegion(net *topology.Network) map[geo.Region][]int {
 	for r, cs := range cities {
 		keys := make([]string, 0, len(cs))
 		for k := range cs {
+			//gicnet:allow crossdet collected keys are sorted by (total degree, key) before any use, so map order cannot leak
 			keys = append(keys, k)
 		}
 		sort.Slice(keys, func(i, j int) bool {

@@ -264,3 +264,44 @@ func TestRegionSharesNormalized(t *testing.T) {
 		t.Fatalf("shares sum to %v, want 1", sum)
 	}
 }
+
+// TestDefaultDemandsPinnedOrder pins the demand matrix element-by-element.
+// DefaultDemands feeds the serving and cross-layer fingerprint paths, so
+// its output must come from source order, never from map iteration; this
+// test locks the exact sequence (sorted by From, then To, over the string
+// region names) and the exact weights so a regression back to a map-built
+// table cannot land silently.
+func TestDefaultDemandsPinnedOrder(t *testing.T) {
+	ds := DefaultDemands()
+	if len(ds) != 30 {
+		t.Fatalf("demands = %d, want 30", len(ds))
+	}
+	// Sorted region order is alphabetical on the string values.
+	regions := []geo.Region{
+		geo.RegionAfrica, geo.RegionAsia, geo.RegionEurope,
+		geo.RegionNorthAmerica, geo.RegionOceania, geo.RegionSouthAmerica,
+	}
+	weights := map[geo.Region]float64{
+		geo.RegionNorthAmerica: 0.30, geo.RegionEurope: 0.27, geo.RegionAsia: 0.25,
+		geo.RegionSouthAmerica: 0.08, geo.RegionAfrica: 0.05, geo.RegionOceania: 0.05,
+	}
+	i := 0
+	total := 0.0
+	for _, from := range regions {
+		for _, to := range regions {
+			if from == to {
+				continue
+			}
+			want := Demand{From: from, To: to, Volume: weights[from] * weights[to]}
+			if ds[i] != want {
+				t.Fatalf("demand[%d] = %+v, want %+v", i, ds[i], want)
+			}
+			total += ds[i].Volume
+			i++
+		}
+	}
+	// (sum w)^2 - sum w^2 with sum w = 1: 1 - 0.2368.
+	if math.Abs(total-0.7632) > 1e-12 {
+		t.Fatalf("total volume = %v, want 0.7632", total)
+	}
+}

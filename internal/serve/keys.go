@@ -49,6 +49,7 @@ type batchKey struct {
 // allocation-free.
 //
 //gicnet:hotpath
+//gicnet:pure
 func (k resultKey) batchKey() batchKey {
 	return batchKey{
 		worldSeed:  k.worldSeed,
@@ -65,6 +66,7 @@ func (k resultKey) batchKey() batchKey {
 // planKey projects the result identity onto the plan tier's identity.
 //
 //gicnet:hotpath
+//gicnet:pure
 func (k resultKey) planKey() planKey {
 	return planKey{
 		worldSeed: k.worldSeed,
@@ -81,6 +83,7 @@ func (k resultKey) planKey() planKey {
 // plans, contractions and results to exactly one shard.
 //
 //gicnet:hotpath
+//gicnet:pure
 func shardIndex(worldSeed uint64, network string, shards int) int {
 	const (
 		offset64 uint64 = 14695981039346656037

@@ -1,0 +1,56 @@
+package loadtest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestErrOnceMixedConcreteTypes pins the reason errOnce exists: the
+// previous atomic.Value latch panicked with "inconsistently typed value"
+// when two workers raced to store errors of different concrete types
+// (errors.New's *errorString vs fmt.Errorf's %w *wrapError), which is
+// exactly what a load test produces when a request error races a
+// connection error. errOnce must absorb the race and keep the first error.
+func TestErrOnceMixedConcreteTypes(t *testing.T) {
+	for round := 0; round < 100; round++ {
+		var latch errOnce
+		base := errors.New("request failed")
+		wrapped := fmt.Errorf("dial: %w", errors.New("refused"))
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				if g%2 == 0 {
+					latch.record(base)
+				} else {
+					latch.record(wrapped)
+				}
+			}(g)
+		}
+		wg.Wait()
+		got := latch.get()
+		if got != base && got != wrapped {
+			t.Fatalf("latched error %v is neither recorded error", got)
+		}
+	}
+}
+
+func TestErrOnceNilAndFirstWins(t *testing.T) {
+	var latch errOnce
+	if latch.get() != nil {
+		t.Fatal("zero-value latch is non-nil")
+	}
+	latch.record(nil)
+	if latch.get() != nil {
+		t.Fatal("recording nil latched an error")
+	}
+	first := errors.New("first")
+	latch.record(first)
+	latch.record(errors.New("second"))
+	if got := latch.get(); got != first {
+		t.Fatalf("latched %v, want the first error", got)
+	}
+}

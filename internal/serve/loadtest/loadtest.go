@@ -127,7 +127,7 @@ func Run(ctx context.Context, srv *serve.Server, opts Options) (Report, error) {
 	lats := make([]time.Duration, len(reqs))
 	fps := make([]uint64, len(reqs))
 	var errCount atomic.Uint64
-	var firstErr atomic.Value
+	var firstErr errOnce
 	var next atomic.Int64
 
 	start := time.Now() //gicnet:allow determinism load-test wall-clock measurement, not simulation state
@@ -146,7 +146,7 @@ func Run(ctx context.Context, srv *serve.Server, opts Options) (Report, error) {
 				lats[i] = time.Since(t0) //gicnet:allow determinism per-request latency measurement
 				if err != nil {
 					errCount.Add(1)
-					firstErr.CompareAndSwap(nil, err)
+					firstErr.record(err)
 					continue
 				}
 				fps[i] = resp.Fingerprint
@@ -174,9 +174,35 @@ func Run(ctx context.Context, srv *serve.Server, opts Options) (Report, error) {
 		rep.MixFingerprint += fp // commutative: order-independent
 	}
 	if rep.Errors > 0 {
-		return rep, fmt.Errorf("loadtest: %d/%d requests failed, first: %w", rep.Errors, rep.Requests, firstErr.Load().(error))
+		return rep, fmt.Errorf("loadtest: %d/%d requests failed, first: %w", rep.Errors, rep.Requests, firstErr.get())
 	}
 	return rep, nil
+}
+
+// errOnce keeps the first error recorded across concurrent workers.
+// atomic.Value cannot do this job: its CompareAndSwap panics with
+// "inconsistently typed value" the moment two workers race errors of
+// different concrete types (a *errors.errorString from a rejected request
+// against a *fmt.wrapError from a failed sweep). atomic.Pointer is
+// type-agnostic — it swaps a pointer to the interface value instead.
+type errOnce struct {
+	p atomic.Pointer[error]
+}
+
+// record stores err if no error has been recorded yet.
+func (e *errOnce) record(err error) {
+	if err == nil {
+		return
+	}
+	e.p.CompareAndSwap(nil, &err)
+}
+
+// get returns the recorded error, nil if none.
+func (e *errOnce) get() error {
+	if p := e.p.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // quantile reads the q-th quantile from an ascending latency slice.

@@ -184,6 +184,8 @@ func (r *Result) ESS() float64 {
 // fingerprints match, whatever the worker count — the replay layer of the
 // verification subsystem compares fingerprints across worker counts to
 // prove scheduling independence.
+//
+//gicnet:pure
 func (r *Result) Fingerprint() uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%s|%g|", r.Network, r.Model, r.SpacingKm)
@@ -718,8 +720,8 @@ func sweepUniform(ctx context.Context, net *topology.Network, cfg Config, ps []f
 			cross = crossBacking[i*cfg.Trials : (i+1)*cfg.Trials : (i+1)*cfg.Trials]
 		}
 		a.acquire()
+		defer a.release()
 		err := a.runInto(ctx, net, c, &results[i], outcomes, cross)
-		a.release()
 		if err != nil {
 			return fmt.Errorf("sweep p=%g: %w", ps[i], err)
 		}

@@ -1,0 +1,78 @@
+//go:build race
+
+package sim
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gicnet/internal/crosslayer"
+	"gicnet/internal/dataset"
+	"gicnet/internal/failure"
+	"gicnet/internal/geo"
+	"gicnet/internal/routing"
+	"gicnet/internal/topology"
+)
+
+// coordLine is lineNetwork with located nodes, so crosslayer.Compile
+// accepts it as a scoring target.
+func coordLine(n int) *topology.Network {
+	net := &topology.Network{Name: fmt.Sprintf("coordline-%d", n)}
+	for i := 0; i <= n; i++ {
+		net.Nodes = append(net.Nodes, topology.Node{
+			Name:     fmt.Sprintf("n%d", i),
+			HasCoord: true,
+			Coord:    geo.Coord{Lat: 45, Lon: float64(i)*0.4 - 15},
+		})
+	}
+	for i := 0; i < n; i++ {
+		net.Cables = append(net.Cables, topology.Cable{
+			Name:        fmt.Sprintf("c%d", i),
+			Segments:    []topology.Segment{{A: i, B: i + 1, LengthKm: 1500}},
+			KnownLength: true,
+		})
+	}
+	return net
+}
+
+// TestSweepArenaSurvivesPanicMidRun pins the acquire/defer-release pairing
+// in the external-arena sweep. The panic is provoked by violating the
+// Config.CrossLayer contract ("the index must be compiled for the run's
+// network"): the network is truncated after the index is compiled, so the
+// pointer-identity check passes but cross-layer scoring indexes past the
+// shrunken bitsets. A panic anywhere inside the swept run must still
+// release the arena on unwind; before the pairing fix the release was
+// skipped, and on this race build the very next acquire tripped the
+// concurrent-use guard even though the arena was back on a single
+// goroutine.
+func TestSweepArenaSurvivesPanicMidRun(t *testing.T) {
+	net := coordLine(100) // two bitset words at compile time
+	cat := &dataset.RouterCatalog{ASes: []dataset.AS{
+		{ASN: 1, Home: geo.Coord{Lat: 45, Lon: -15}, Routers: []geo.Coord{{Lat: 45, Lon: -15}}},
+		{ASN: 2, Home: geo.Coord{Lat: 45, Lon: 25}, Routers: []geo.Coord{{Lat: 45, Lon: 25}}},
+	}}
+	x, err := crosslayer.Compile(net, cat, routing.DefaultDemands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Cables = net.Cables[:8] // one bitset word at run time
+	net.Nodes = net.Nodes[:9]
+
+	a := NewArena()
+	cfg := Config{SpacingKm: 100, Trials: 64, Seed: 3, Workers: 1, CrossLayer: x}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("stale cross-layer index over a truncated network did not panic")
+			}
+		}()
+		_, _ = SweepUniformArena(context.Background(), net, cfg, []float64{0.5}, a)
+	}()
+
+	// The deferred release ran during unwind, so the arena is reusable.
+	clean := Config{Model: failure.Uniform{P: 0.1}, SpacingKm: 100, Trials: 64, Seed: 3, Workers: 1}
+	if _, err := a.RunModel(context.Background(), net, clean); err != nil {
+		t.Fatalf("arena unusable after recovered panic: %v", err)
+	}
+}

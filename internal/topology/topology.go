@@ -400,6 +400,8 @@ func (n *Network) CableBandByPath(ci int) (geo.Band, bool) {
 // fingerprints match; the verification subsystem pins generated worlds to
 // golden fingerprints so dataset refactors cannot silently change the
 // topology every result depends on.
+//
+//gicnet:pure
 func (n *Network) Fingerprint() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
